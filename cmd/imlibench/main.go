@@ -1,0 +1,62 @@
+// Command imlibench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports, preceded by the paper's own numbers for comparison.
+//
+// Usage:
+//
+//	imlibench -exp=all                 # every experiment, full size
+//	imlibench -exp=fig8 -branches=100000
+//	imlibench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+	branches := flag.Int("branches", 250000, "branch records generated per trace")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	quiet := flag.Bool("q", false, "suppress per-suite progress lines")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	params := experiments.Params{Budget: *branches}
+	if !*quiet {
+		params.Progress = os.Stderr
+	}
+	runner := experiments.NewRunner(params)
+
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		rep := e.Run(runner)
+		fmt.Printf("==== %s — %s ====\n\n%s\n(%.1fs)\n\n",
+			rep.ID, e.Title, rep.Text, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,88 @@
+// Command imligen materialises the synthetic benchmark suites as
+// on-disk trace files in the repository's compact binary format, for
+// use with imlisim -trace or external tooling.
+//
+// Usage:
+//
+//	imligen -out=traces -branches=250000          # both suites
+//	imligen -out=traces -suite=cbp4 -bench=MM-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "traces", "output directory")
+	suite := flag.String("suite", "", "restrict to one suite: cbp4 or cbp3")
+	bench := flag.String("bench", "", "restrict to one benchmark name")
+	branches := flag.Int("branches", 250000, "branch records per trace")
+	flag.Parse()
+
+	var benches []workload.Benchmark
+	switch {
+	case *bench != "":
+		b, err := workload.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		benches = []workload.Benchmark{b}
+	case *suite != "":
+		var ok bool
+		benches, ok = workload.Suites()[*suite]
+		if !ok {
+			fatal(fmt.Errorf("unknown suite %q", *suite))
+		}
+	default:
+		benches = workload.All()
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, b := range benches {
+		path := filepath.Join(*out, b.Name+".imlt")
+		if err := writeTrace(path, b, *branches); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d branches)\n", path, *branches)
+	}
+}
+
+func writeTrace(path string, b workload.Benchmark, branches int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriter(f, b.Name)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var writeErr error
+	b.Generate(branches, func(r trace.Record) {
+		if writeErr == nil {
+			writeErr = w.Write(r)
+		}
+	})
+	if writeErr != nil {
+		f.Close()
+		return writeErr
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imligen:", err)
+	os.Exit(1)
+}

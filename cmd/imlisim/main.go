@@ -1,0 +1,116 @@
+// Command imlisim runs one predictor configuration over synthetic
+// benchmarks or on-disk traces and reports MPKI.
+//
+// Usage:
+//
+//	imlisim -predictor=tage-gsc+imli -suite=cbp4
+//	imlisim -predictor=gehl -bench=SPEC2K6-12 -branches=500000
+//	imlisim -predictor=tage-gsc -trace=out/SPEC2K6-12.imlt
+//	imlisim -predictors            # list configurations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/btb"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	config := flag.String("predictor", "tage-gsc+imli", "predictor configuration name")
+	suite := flag.String("suite", "", "run a whole suite: cbp4 or cbp3")
+	bench := flag.String("bench", "", "run a single synthetic benchmark by name")
+	traceFile := flag.String("trace", "", "run an on-disk trace file")
+	branches := flag.Int("branches", 250000, "branch records per synthetic trace")
+	listPredictors := flag.Bool("predictors", false, "list predictor configurations and exit")
+	listBenches := flag.Bool("benchmarks", false, "list benchmark names and exit")
+	targets := flag.Bool("targets", false, "also report fetch-target prediction (BTB/RAS/indirect) for -bench")
+	flag.Parse()
+
+	switch {
+	case *listPredictors:
+		names := predictor.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			p := predictor.MustNew(n)
+			fmt.Printf("%-22s %6d Kbits\n", n, p.StorageBits()/1024)
+		}
+	case *listBenches:
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+	case *traceFile != "":
+		runTraceFile(*config, *traceFile)
+	case *bench != "":
+		b, err := workload.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.RunBenchmark(*config, b, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		if *targets {
+			tr := sim.RunTargets(btb.New(btb.DefaultConfig()), b, *branches)
+			fmt.Printf("targets: %.2f%% of taken transfers missed; RAS %d/%d correct; "+
+				"IMLI backward-hint coverage %.1f%%\n",
+				tr.TargetMissRate()*100, tr.Stats.RASCorrect, tr.Stats.RASPops,
+				tr.HintCoverage()*100)
+		}
+	case *suite != "":
+		benches, ok := workload.Suites()[*suite]
+		if !ok {
+			fatal(fmt.Errorf("unknown suite %q (want cbp4 or cbp3)", *suite))
+		}
+		run, err := sim.RunSuite(*config, *suite, benches, *branches)
+		if err != nil {
+			fatal(err)
+		}
+		for _, res := range run.Results {
+			printResult(res)
+		}
+		fmt.Printf("%-14s avg over %d traces: %.3f MPKI\n", *config, len(run.Results), run.AvgMPKI())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTraceFile(config, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := predictor.New(config)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.RunReader(p, r)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res)
+}
+
+func printResult(r sim.Result) {
+	fmt.Printf("%-14s %-12s %9d branches %10d instr  %7d misp  %6.3f MPKI  (%.2f%% misp rate)\n",
+		r.Predictor, r.Trace, r.Conditionals, r.Instructions, r.Mispredicted,
+		r.MPKI(), r.MispredictRate()*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imlisim:", err)
+	os.Exit(1)
+}

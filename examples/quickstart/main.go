@@ -1,0 +1,36 @@
+// Quickstart: build the paper's flagship TAGE-GSC-IMLI predictor, run
+// it against the plain TAGE-GSC base on one hard benchmark, and print
+// the accuracy difference — the 30-second version of the paper's
+// result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	imli "repro"
+)
+
+func main() {
+	const budget = 200000 // branch records to simulate
+
+	bench, err := imli.BenchmarkByName("SPEC2K6-12")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, config := range []string{"tage-gsc", "tage-gsc+sic", "tage-gsc+imli"} {
+		p, err := imli.NewPredictor(config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := imli.Simulate(p, bench, budget)
+		fmt.Printf("%-16s on %s: %6.3f MPKI  (%5.2f%% of conditional branches mispredicted, %d Kbits)\n",
+			config, bench.Name, res.MPKI(), res.MispredictRate()*100, p.StorageBits()/1024)
+	}
+
+	fmt.Println()
+	fmt.Println("The IMLI components (≈708 bytes of extra state) recover the")
+	fmt.Println("wormhole-class correlation Out[N][M] = Out[N-1][M-1] that the")
+	fmt.Println("global-history base predictor cannot see.")
+}

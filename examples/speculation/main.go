@@ -1,0 +1,107 @@
+// Speculation demonstrates the paper's hardware argument (§2.3, §4.4):
+// repairing the speculative IMLI state after a branch misprediction
+// needs only a 26-bit checkpoint (IMLI counter + PIPE vector), while a
+// local-history component must associatively search the window of
+// in-flight branches on every fetch.
+//
+// The example models a fetch pipeline with in-flight branches, injects
+// mispredictions, and shows (a) checkpoint/restore keeping the IMLI
+// counter exact, and (b) the comparison traffic the local-history
+// window incurs for the same instruction stream.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hist"
+)
+
+// fetched is one speculatively fetched branch with its checkpoints.
+type fetched struct {
+	pc, target uint64
+	predicted  bool
+	actual     bool
+	imliCkpt   uint32
+	pipeCkpt   uint32
+	histCkpt   hist.GlobalCheckpoint
+}
+
+func main() {
+	imli := core.NewIMLI()
+	oh := core.NewOH(core.DefaultOHConfig(), imli)
+	g := hist.NewGlobal(1024)
+	window := hist.NewInflightWindow(64, 16)
+	localHist := hist.NewLocal(256, 16)
+
+	// A loop: backward branch at 0x1000 taken 7 times then not taken,
+	// repeated. The fetch engine predicts "taken" always and runs 4
+	// branches ahead of execution, so it mispredicts every loop exit
+	// with wrong-path work in flight that must be squashed and the
+	// IMLI state repaired.
+	const loopPC, loopTarget = 0x1000, 0x0f00
+	trip := 8
+	depth := 4 // in-flight branches between fetch and resolve
+
+	var inflight []fetched
+	mispredicts, repaired := 0, 0
+	iter := 0 // architectural (committed-path) occurrence counter
+
+	resolve := func() {
+		r := inflight[0]
+		inflight = inflight[1:]
+		window.Retire(1)
+		if r.predicted != r.actual {
+			mispredicts++
+			// Repair: restore the 26-bit IMLI checkpoint + global
+			// history pointer, then redo with the actual outcome.
+			imli.Restore(r.imliCkpt)
+			oh.RestorePipe(r.pipeCkpt)
+			g.Restore(r.histCkpt)
+			imli.Observe(r.pc, r.target, r.actual)
+			g.Push(r.actual)
+			// Squash the wrong-path fetches that followed.
+			inflight = inflight[:0]
+			window.Flush(0)
+			repaired++
+			fmt.Printf("  occurrence %2d: loop exit mispredicted -> squashed %s, restored IMLIcount=%d from %d-bit checkpoint\n",
+				iter, "wrong path", imli.Count(), core.CheckpointBits(oh))
+		}
+		localHist.Push(r.pc, r.actual)
+		iter++
+	}
+
+	fmt.Println("speculative fetch on a trip-8 loop (predict-taken fetch engine, 4 branches in flight):")
+	for iter < 4*trip {
+		// Fetch until the window is depth deep: checkpoint speculative
+		// state, predict, update speculative IMLI with the *predicted*
+		// direction.
+		for len(inflight) < depth {
+			occ := iter + len(inflight)
+			f := fetched{
+				pc: loopPC, target: loopTarget,
+				predicted: true, actual: (occ+1)%trip != 0,
+				imliCkpt: imli.Checkpoint(),
+				pipeCkpt: oh.CheckpointPipe(),
+				histCkpt: g.Checkpoint(),
+			}
+			imli.Observe(f.pc, f.target, f.predicted)
+			g.Push(f.predicted)
+			// The local-history alternative must search the in-flight
+			// window on every fetch to find the newest speculative
+			// history of this PC.
+			h := window.Lookup(localHist.Index(f.pc), localHist.Get(f.pc))
+			window.Insert(hist.InflightEntry{Index: localHist.Index(f.pc), Hist: h<<1 | 1})
+			inflight = append(inflight, f)
+		}
+		resolve()
+	}
+
+	fmt.Printf("\nmispredictions: %d, repairs via checkpoint: %d (always exact)\n", mispredicts, repaired)
+	fmt.Printf("IMLI speculative state per checkpoint: %d bits (counter %d + PIPE 16)\n",
+		core.CheckpointBits(oh), core.CounterBits)
+	fmt.Printf("local-history window: %d associative searches, %d entry comparisons, %d bits riding in flight\n",
+		window.Searches, window.Comparisons, window.StorageBits())
+	fmt.Println("\nThe IMLI repair is a register copy; the local-history path needs a CAM")
+	fmt.Println("search of the in-flight window on every fetch cycle (paper §2.3.2).")
+}

@@ -1,0 +1,92 @@
+// Tracefile demonstrates the on-disk trace workflow: materialise a
+// synthetic benchmark into the compact binary trace format, read it
+// back, and verify that simulating from disk reproduces the in-memory
+// run bit-for-bit — the pipeline external traces would use.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	imli "repro"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	const budget = 100000
+	bench, err := imli.BenchmarkByName("CLIENT02")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "imli-traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, bench.Name+".imlt")
+
+	// Write the benchmark to disk.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := trace.NewWriter(f, bench.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := 0
+	bench.Generate(budget, func(r trace.Record) {
+		if err := w.Write(r); err != nil {
+			log.Fatal(err)
+		}
+		records++
+	})
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d records in %d bytes (%.2f bytes/branch)\n",
+		filepath.Base(path), records, info.Size(), float64(info.Size())/float64(records))
+
+	// Simulate directly from memory...
+	p, err := imli.NewPredictor("tage-gsc+imli")
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct := imli.Simulate(p, bench, budget)
+
+	// ...and from the file.
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	rd, err := trace.NewReader(rf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromDisk, err := sim.RunReader(predictor.MustNew("tage-gsc+imli"), rd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("in-memory run: %.3f MPKI (%d mispredictions)\n", direct.MPKI(), direct.Mispredicted)
+	fmt.Printf("from-disk run: %.3f MPKI (%d mispredictions)\n", fromDisk.MPKI(), fromDisk.Mispredicted)
+	if direct.Mispredicted == fromDisk.Mispredicted {
+		fmt.Println("bit-exact: the trace format round-trips the workload losslessly")
+	} else {
+		fmt.Println("MISMATCH — trace round-trip lost information")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+// Package imli is the public API of this reproduction of "The Inner
+// Most Loop Iteration counter: a new dimension in branch history"
+// (Seznec, San Miguel, Albericio — MICRO 2015).
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - branch predictors, by configuration name (NewPredictor), covering
+//     every configuration in the paper's evaluation: TAGE-GSC and GEHL
+//     bases, +IMLI (SIC/OH), +local/loop, +wormhole;
+//   - the IMLI mechanism itself (NewIMLICounter, NewSIC, NewOH) for
+//     embedding into other predictors;
+//   - the synthetic CBP-like benchmark suites and the trace-driven
+//     simulator used to evaluate them;
+//   - the experiment harness that regenerates every table and figure of
+//     the paper (Experiments, RunExperiment).
+//
+// Quick start:
+//
+//	p, _ := imli.NewPredictor("tage-gsc+imli")
+//	b, _ := imli.BenchmarkByName("SPEC2K6-12")
+//	res := imli.Simulate(p, b, 200000)
+//	fmt.Printf("%s on %s: %.3f MPKI\n", p.Name(), b.Name, res.MPKI())
+package imli
+
+import (
+	"repro/internal/btb"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Predictor is the common interface of all composed predictors; see
+// PredictorNames for the available configurations.
+type Predictor = predictor.Predictor
+
+// Record is one dynamic branch in a trace.
+type Record = trace.Record
+
+// Kind classifies branch records.
+type Kind = trace.Kind
+
+// Branch kinds.
+const (
+	CondDirect   = trace.CondDirect
+	UncondDirect = trace.UncondDirect
+	Call         = trace.Call
+	Return       = trace.Return
+	Indirect     = trace.Indirect
+)
+
+// Result is the outcome of simulating one predictor over one trace.
+type Result = sim.Result
+
+// SuiteRun is the outcome of simulating a predictor over a whole suite.
+type SuiteRun = sim.SuiteRun
+
+// Benchmark is one synthetic benchmark definition.
+type Benchmark = workload.Benchmark
+
+// IMLICounter is the paper's inner-most-loop iteration counter.
+type IMLICounter = core.IMLI
+
+// SIC is the IMLI-SIC predictor component.
+type SIC = core.SIC
+
+// OH is the IMLI-OH predictor component.
+type OH = core.OH
+
+// NewPredictor builds a predictor configuration by registry name
+// (e.g. "tage-gsc", "tage-gsc+imli", "gehl+imli", "tage-sc-l+imli").
+func NewPredictor(name string) (Predictor, error) { return predictor.New(name) }
+
+// PredictorNames lists the available configurations.
+func PredictorNames() []string { return predictor.Names() }
+
+// NewIMLICounter returns a fresh IMLI counter.
+func NewIMLICounter() *IMLICounter { return core.NewIMLI() }
+
+// NewSIC returns an IMLI-SIC component with the paper's default
+// geometry, reading the given counter.
+func NewSIC(counter *IMLICounter) *SIC { return core.NewSIC(core.DefaultSICConfig(), counter) }
+
+// NewOH returns an IMLI-OH component with the paper's default
+// geometry, reading the given counter.
+func NewOH(counter *IMLICounter) *OH { return core.NewOH(core.DefaultOHConfig(), counter) }
+
+// CBP4Suite returns the 40 CBP4-like synthetic benchmarks.
+func CBP4Suite() []Benchmark { return workload.CBP4() }
+
+// CBP3Suite returns the 40 CBP3-like synthetic benchmarks.
+func CBP3Suite() []Benchmark { return workload.CBP3() }
+
+// BenchmarkByName returns the named benchmark from either suite.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// Simulate runs a predictor over a benchmark generated with the given
+// branch budget and returns accuracy statistics.
+func Simulate(p Predictor, b Benchmark, budget int) Result {
+	return sim.Feed(p, b.Name, func(emit func(Record)) { b.Generate(budget, emit) })
+}
+
+// SimulateSuite runs a registry configuration over a whole suite
+// ("cbp4" or "cbp3") in parallel.
+func SimulateSuite(config, suite string, budget int) (SuiteRun, error) {
+	return sim.RunSuite(config, suite, workload.Suites()[suite], budget)
+}
+
+// TargetUnit is the fetch-target substrate (BTB + return address
+// stack + indirect predictor) that supplies the fetch-time backward
+// bit the IMLI heuristic consumes.
+type TargetUnit = btb.Unit
+
+// NewTargetUnit returns a default-sized fetch-target unit.
+func NewTargetUnit() *TargetUnit { return btb.New(btb.DefaultConfig()) }
+
+// TargetResult summarises fetch-target prediction over a benchmark.
+type TargetResult = sim.TargetResult
+
+// SimulateTargets measures fetch-target prediction (and IMLI
+// backward-hint coverage) over a benchmark.
+func SimulateTargets(u *TargetUnit, b Benchmark, budget int) TargetResult {
+	return sim.RunTargets(u, b, budget)
+}
+
+// SpecMode selects the speculative-history model for SimulateSpec.
+type SpecMode = sim.SpecMode
+
+// Speculative-history modes (see internal/sim).
+const (
+	SpecImmediate    = sim.SpecImmediate
+	SpecCheckpointed = sim.SpecCheckpointed
+	SpecUnrepaired   = sim.SpecUnrepaired
+)
+
+// SimulateSpec runs a registry configuration over a benchmark under a
+// speculative-history mode. SpecCheckpointed is prediction-for-
+// prediction identical to SpecImmediate (the paper's §2.3 repair
+// argument); SpecUnrepaired quantifies the cost of not checkpointing.
+func SimulateSpec(config string, mode SpecMode, b Benchmark, budget int) (Result, error) {
+	return sim.RunSpecBenchmark(config, mode, b, budget)
+}
+
+// Experiment reproduces one paper table or figure.
+type Experiment = experiments.Experiment
+
+// ExperimentReport is the rendered output of an experiment.
+type ExperimentReport = experiments.Report
+
+// Experiments lists every paper artifact experiment (one per table and
+// figure; see DESIGN.md for the index).
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment reproduces one paper artifact by experiment ID (e.g.
+// "fig8", "table1", "storage") with the given per-trace branch budget
+// (0 = full size).
+func RunExperiment(id string, budget int) (ExperimentReport, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return ExperimentReport{}, err
+	}
+	r := experiments.NewRunner(experiments.Params{Budget: budget})
+	return e.Run(r), nil
+}

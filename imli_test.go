@@ -1,0 +1,100 @@
+package imli_test
+
+import (
+	"testing"
+
+	imli "repro"
+)
+
+func TestFacadePredictors(t *testing.T) {
+	names := imli.PredictorNames()
+	if len(names) < 20 {
+		t.Fatalf("only %d configurations exposed", len(names))
+	}
+	p, err := imli.NewPredictor("tage-gsc+imli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "tage-gsc+imli" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if _, err := imli.NewPredictor("nope"); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}
+
+func TestFacadeSuites(t *testing.T) {
+	if len(imli.CBP4Suite()) != 40 || len(imli.CBP3Suite()) != 40 {
+		t.Error("suite sizes wrong")
+	}
+	b, err := imli.BenchmarkByName("MM-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Suite != "cbp4" {
+		t.Errorf("MM-4 suite = %q", b.Suite)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	p, err := imli.NewPredictor("gshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := imli.BenchmarkByName("SPEC2K6-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := imli.Simulate(p, b, 10000)
+	if res.Conditionals == 0 || res.MPKI() <= 0 {
+		t.Errorf("implausible result %+v", res)
+	}
+}
+
+func TestFacadeIMLIComponents(t *testing.T) {
+	c := imli.NewIMLICounter()
+	sic := imli.NewSIC(c)
+	oh := imli.NewOH(c)
+	// Drive the counter through a loop and check it ticks.
+	for i := 0; i < 5; i++ {
+		c.Observe(0x1000, 0x0f00, true)
+	}
+	if c.Count() != 5 {
+		t.Errorf("counter = %d", c.Count())
+	}
+	if sic.StorageBits() != 512*6 {
+		t.Errorf("SIC storage = %d", sic.StorageBits())
+	}
+	if oh.StorageBits() <= 0 {
+		t.Error("OH storage empty")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(imli.Experiments()) < 16 {
+		t.Errorf("only %d experiments exposed", len(imli.Experiments()))
+	}
+	rep, err := imli.RunExperiment("storage", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "storage" || rep.Text == "" {
+		t.Errorf("bad report: %+v", rep.ID)
+	}
+	if _, err := imli.RunExperiment("nope", 1000); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeSuiteRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	run, err := imli.SimulateSuite("bimodal", "cbp4", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 40 || run.AvgMPKI() <= 0 {
+		t.Errorf("suite run = %d results, %.3f MPKI", len(run.Results), run.AvgMPKI())
+	}
+}

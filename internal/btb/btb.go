@@ -1,0 +1,242 @@
+// Package btb implements the fetch-engine target substrate: a branch
+// target buffer, a return address stack, and a tagged indirect-target
+// predictor.
+//
+// The paper's IMLI heuristic runs at instruction fetch time
+// ("IMLIcount can be simply monitored at instruction fetch time",
+// §4.1) — which means the fetch engine must already know that the
+// fetched branch is a *backward conditional* branch before it
+// executes. That knowledge comes from exactly these structures: the
+// BTB supplies the (predicted) target whose comparison against the PC
+// yields the backward bit. This package makes that dependency
+// concrete and measurable (see Unit.Predict / Unit.BackwardHint).
+package btb
+
+import "repro/internal/num"
+
+// Config sizes a BTB.
+type Config struct {
+	// Sets and Ways size the target cache (sets rounded to a power of
+	// two).
+	Sets, Ways int
+	// TagBits is the partial tag width.
+	TagBits int
+	// RASDepth is the return address stack depth.
+	RASDepth int
+	// IndirectEntries sizes the indirect-target table.
+	IndirectEntries int
+	// IndirectHistBits is the target-history length used to index the
+	// indirect table.
+	IndirectHistBits int
+}
+
+// DefaultConfig is a modest fetch-engine configuration (1K-entry BTB,
+// 16-deep RAS, 256-entry indirect table).
+func DefaultConfig() Config {
+	return Config{Sets: 256, Ways: 4, TagBits: 12, RASDepth: 16,
+		IndirectEntries: 256, IndirectHistBits: 12}
+}
+
+type entry struct {
+	valid  bool
+	tag    uint16
+	target uint64
+	age    uint8
+}
+
+// Unit is the combined target-prediction unit.
+type Unit struct {
+	cfg     Config
+	sets    int
+	setMask uint64
+	entries []entry
+
+	ras    []uint64
+	rasTop int // next free slot
+
+	ind      []entry
+	indMask  uint64
+	targHist uint64 // folded low bits of recent indirect targets
+
+	// Stats accumulate per-kind target prediction outcomes.
+	Stats Stats
+}
+
+// Stats counts target predictions by unit.
+type Stats struct {
+	BTBLookups    uint64
+	BTBHits       uint64
+	BTBCorrect    uint64
+	RASPops       uint64
+	RASCorrect    uint64
+	IndLookups    uint64
+	IndCorrect    uint64
+	ColdBranches  uint64 // first-sight branches: no backward hint at fetch
+	BackwardHints uint64 // fetches where the BTB could supply the backward bit
+}
+
+// New returns a target-prediction unit.
+func New(cfg Config) *Unit {
+	if cfg.Sets <= 0 {
+		cfg = DefaultConfig()
+	}
+	sets := num.Pow2Ceil(cfg.Sets)
+	indN := num.Pow2Ceil(cfg.IndirectEntries)
+	return &Unit{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		entries: make([]entry, sets*cfg.Ways),
+		ras:     make([]uint64, cfg.RASDepth),
+		ind:     make([]entry, indN),
+		indMask: uint64(indN - 1),
+	}
+}
+
+func (u *Unit) set(pc uint64) int { return int((pc >> 2) & u.setMask) }
+
+func (u *Unit) tag(pc uint64) uint16 {
+	return uint16((num.Mix(pc>>2) >> 13) & ((1 << u.cfg.TagBits) - 1))
+}
+
+// lookup returns the matching way index or -1.
+func (u *Unit) lookup(pc uint64) int {
+	base := u.set(pc) * u.cfg.Ways
+	t := u.tag(pc)
+	for w := 0; w < u.cfg.Ways; w++ {
+		if u.entries[base+w].valid && u.entries[base+w].tag == t {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Predict returns the predicted target for a fetched branch, or
+// (0,false) when the unit has no prediction (cold branch). The caller
+// tells the unit whether the branch is a return or indirect; in
+// hardware that pre-decode information also comes from the BTB.
+func (u *Unit) Predict(pc uint64, isReturn, isIndirect bool) (uint64, bool) {
+	if isReturn {
+		if u.rasTop > 0 {
+			return u.ras[u.rasTop-1], true
+		}
+		return 0, false
+	}
+	if isIndirect {
+		u.Stats.IndLookups++
+		i := u.indIndex(pc)
+		if u.ind[i].valid && u.ind[i].tag == u.tag(pc) {
+			return u.ind[i].target, true
+		}
+		// Fall back to the BTB (monomorphic indirect branches).
+	}
+	u.Stats.BTBLookups++
+	if w := u.lookup(pc); w >= 0 {
+		u.Stats.BTBHits++
+		return u.entries[w].target, true
+	}
+	return 0, false
+}
+
+// BackwardHint reports whether the fetch engine can already tell that
+// the branch at pc is backward — the bit the IMLI counter heuristic
+// consumes at fetch. It is available whenever the BTB holds the
+// branch's target. Cold branches (BTB misses) are counted; their IMLI
+// update happens one occurrence late, which the paper's mechanism
+// tolerates (counters re-learn).
+func (u *Unit) BackwardHint(pc uint64) (backward, known bool) {
+	if w := u.lookup(pc); w >= 0 {
+		u.Stats.BackwardHints++
+		return u.entries[w].target < pc, true
+	}
+	u.Stats.ColdBranches++
+	return false, false
+}
+
+func (u *Unit) indIndex(pc uint64) uint64 {
+	return (num.Mix(pc>>2) ^ num.Mix(u.targHist)) & u.indMask
+}
+
+// Update trains the unit with a resolved branch: its kind, whether it
+// was taken, and its actual target. Correctness statistics are
+// accumulated against the prediction the unit would have made.
+func (u *Unit) Update(pc, target uint64, taken, isCall, isReturn, isIndirect bool) {
+	switch {
+	case isReturn:
+		u.Stats.RASPops++
+		if u.rasTop > 0 {
+			if u.ras[u.rasTop-1] == target {
+				u.Stats.RASCorrect++
+			}
+			u.rasTop--
+		}
+	case isIndirect:
+		i := u.indIndex(pc)
+		if u.ind[i].valid && u.ind[i].tag == u.tag(pc) && u.ind[i].target == target {
+			u.Stats.IndCorrect++
+		}
+		u.ind[i] = entry{valid: true, tag: u.tag(pc), target: target}
+		u.targHist = (u.targHist << 4) ^ (target >> 2)
+		u.targHist &= (1 << uint(u.cfg.IndirectHistBits)) - 1
+	}
+	if isCall {
+		u.push(pc + 4)
+	}
+	if !taken {
+		return
+	}
+	// Allocate/refresh the BTB entry for any taken branch.
+	if w := u.lookup(pc); w >= 0 {
+		if u.entries[w].target == target {
+			u.Stats.BTBCorrect++
+		}
+		u.entries[w].target = target
+		if u.entries[w].age < 255 {
+			u.entries[w].age++
+		}
+		return
+	}
+	u.allocate(pc, target)
+}
+
+func (u *Unit) push(addr uint64) {
+	if u.rasTop == len(u.ras) {
+		// Overflow: shift (oldest entry lost), the standard RAS
+		// behaviour.
+		copy(u.ras, u.ras[1:])
+		u.rasTop--
+	}
+	u.ras[u.rasTop] = addr
+	u.rasTop++
+}
+
+func (u *Unit) allocate(pc, target uint64) {
+	base := u.set(pc) * u.cfg.Ways
+	victim := base
+	var minAge uint8 = 255
+	for w := 0; w < u.cfg.Ways; w++ {
+		e := &u.entries[base+w]
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.age <= minAge {
+			minAge = e.age
+			victim = base + w
+		}
+	}
+	u.entries[victim] = entry{valid: true, tag: u.tag(pc), target: target, age: 1}
+}
+
+// RASDepthUsed returns the current stack depth (for tests).
+func (u *Unit) RASDepthUsed() int { return u.rasTop }
+
+// StorageBits returns the unit storage cost.
+func (u *Unit) StorageBits() int {
+	perEntry := 1 + u.cfg.TagBits + 32 + 8 // valid + tag + target (compressed) + age
+	bits := len(u.entries) * perEntry
+	bits += len(u.ras) * 32
+	bits += len(u.ind) * (1 + u.cfg.TagBits + 32)
+	bits += u.cfg.IndirectHistBits
+	return bits
+}

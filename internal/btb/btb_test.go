@@ -1,0 +1,146 @@
+package btb
+
+import "testing"
+
+func TestBTBLearnsStaticTargets(t *testing.T) {
+	u := New(DefaultConfig())
+	pc, target := uint64(0x400), uint64(0x500)
+	// First sight: cold.
+	if _, ok := u.Predict(pc, false, false); ok {
+		t.Error("cold BTB predicted a target")
+	}
+	u.Update(pc, target, true, false, false, false)
+	got, ok := u.Predict(pc, false, false)
+	if !ok || got != target {
+		t.Errorf("after one taken update, Predict = (%#x,%v)", got, ok)
+	}
+}
+
+func TestBTBNotTakenDoesNotAllocate(t *testing.T) {
+	u := New(DefaultConfig())
+	u.Update(0x400, 0x500, false, false, false, false)
+	if _, ok := u.Predict(0x400, false, false); ok {
+		t.Error("not-taken branch allocated a BTB entry")
+	}
+}
+
+func TestBackwardHint(t *testing.T) {
+	u := New(DefaultConfig())
+	back, fwd := uint64(0x1000), uint64(0x2000)
+	u.Update(back, 0x0f00, true, false, false, false)
+	u.Update(fwd, 0x2100, true, false, false, false)
+
+	b, known := u.BackwardHint(back)
+	if !known || !b {
+		t.Errorf("backward branch hint = (%v,%v)", b, known)
+	}
+	b, known = u.BackwardHint(fwd)
+	if !known || b {
+		t.Errorf("forward branch hint = (%v,%v)", b, known)
+	}
+	if _, known := u.BackwardHint(0x9999000); known {
+		t.Error("cold branch claimed a hint")
+	}
+	if u.Stats.ColdBranches != 1 || u.Stats.BackwardHints != 2 {
+		t.Errorf("hint stats = %+v", u.Stats)
+	}
+}
+
+func TestRASMatchedCallsReturns(t *testing.T) {
+	u := New(DefaultConfig())
+	// call A -> call B -> ret (to B+4) -> ret (to A+4)
+	u.Update(0x100, 0x1000, true, true, false, false) // call A
+	u.Update(0x200, 0x1000, true, true, false, false) // call B
+	got, ok := u.Predict(0x1ff0, true, false)
+	if !ok || got != 0x204 {
+		t.Fatalf("RAS top = (%#x,%v), want 0x204", got, ok)
+	}
+	u.Update(0x1ff0, 0x204, true, false, true, false) // ret to B+4
+	got, ok = u.Predict(0x1ff0, true, false)
+	if !ok || got != 0x104 {
+		t.Fatalf("RAS next = (%#x,%v), want 0x104", got, ok)
+	}
+	u.Update(0x1ff0, 0x104, true, false, true, false)
+	if u.Stats.RASCorrect != 2 {
+		t.Errorf("RAS correct = %d, want 2", u.Stats.RASCorrect)
+	}
+	if u.RASDepthUsed() != 0 {
+		t.Errorf("stack not empty after matched returns: %d", u.RASDepthUsed())
+	}
+}
+
+func TestRASOverflowKeepsNewest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASDepth = 4
+	u := New(cfg)
+	for i := 0; i < 8; i++ {
+		u.Update(uint64(0x100+i*16), 0x1000, true, true, false, false)
+	}
+	if u.RASDepthUsed() != 4 {
+		t.Fatalf("depth = %d, want 4", u.RASDepthUsed())
+	}
+	// The newest call must still be on top.
+	got, ok := u.Predict(0x1ff0, true, false)
+	if !ok || got != uint64(0x100+7*16+4) {
+		t.Errorf("top = (%#x,%v)", got, ok)
+	}
+}
+
+func TestIndirectPolymorphic(t *testing.T) {
+	u := New(DefaultConfig())
+	pc := uint64(0x800)
+	targets := []uint64{0x9000, 0x9040, 0x9080}
+	// Cycle the targets; with target-history indexing the unit should
+	// learn the cycle.
+	misses := 0
+	for i := 0; i < 600; i++ {
+		want := targets[i%3]
+		got, ok := u.Predict(pc, false, true)
+		if i > 100 && (!ok || got != want) {
+			misses++
+		}
+		u.Update(pc, want, true, false, false, true)
+	}
+	if misses > 50 {
+		t.Errorf("indirect predictor missed %d/500 on a 3-cycle", misses)
+	}
+}
+
+func TestMonomorphicIndirectFallsBackToBTB(t *testing.T) {
+	u := New(DefaultConfig())
+	pc, target := uint64(0x800), uint64(0x9000)
+	u.Update(pc, target, true, false, false, true)
+	u.Update(pc, target, true, false, false, true)
+	got, ok := u.Predict(pc, false, true)
+	if !ok || got != target {
+		t.Errorf("monomorphic indirect = (%#x,%v)", got, ok)
+	}
+}
+
+func TestBTBEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sets = 1
+	cfg.Ways = 2
+	u := New(cfg)
+	// Three branches in a 2-way single set: one must be evicted, the
+	// most recently useful two survive.
+	u.Update(0x100, 0x200, true, false, false, false)
+	u.Update(0x300, 0x400, true, false, false, false)
+	u.Update(0x500, 0x600, true, false, false, false)
+	hits := 0
+	for _, pc := range []uint64{0x100, 0x300, 0x500} {
+		if _, ok := u.Predict(pc, false, false); ok {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("hits after eviction = %d, want 2", hits)
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	u := New(DefaultConfig())
+	if u.StorageBits() <= 0 {
+		t.Error("no storage reported")
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/stats"
+	"repro/internal/wormhole"
+)
+
+// runAblation sweeps the design parameters DESIGN.md calls out: the
+// IMLI-SIC table size (the paper picked 512 entries as "most of the
+// potential benefit"), the IMLI-OH table sizes, and the WH entry count
+// (the paper's 7). These go beyond the paper's published tables and
+// justify the default geometry choices.
+func runAblation(r *Runner) Report {
+	var b strings.Builder
+	vals := map[string]float64{}
+
+	b.WriteString("SIC table size sweep (tage-gsc+sic, both suites):\n")
+	t := &stats.Table{Header: []string{"entries", "CBP4", "CBP3", "bytes"}}
+	for _, entries := range []int{128, 256, 512, 1024, 2048} {
+		cfg := core.SICConfig{Entries: entries, CtrBits: 6}
+		key := fmt.Sprintf("tage-gsc+sic%d", entries)
+		var c4, c3 float64
+		for _, s := range suiteNames {
+			run := r.SuiteWith(key, s, func() predictor.Predictor {
+				return predictor.NewCustom(key, predictor.Options{
+					Base: predictor.BaseTAGEGSC, IMLISIC: true, SICCfg: &cfg,
+				})
+			})
+			if s == "cbp4" {
+				c4 = run.AvgMPKI()
+			} else {
+				c3 = run.AvgMPKI()
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", entries), stats.F(c4), stats.F(c3),
+			fmt.Sprintf("%d", entries*6/8))
+		vals[fmt.Sprintf("sic%d.cbp4", entries)] = c4
+		vals[fmt.Sprintf("sic%d.cbp3", entries)] = c3
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nOH prediction-table size sweep (tage-gsc+imli variant):\n")
+	t2 := &stats.Table{Header: []string{"entries", "CBP4", "CBP3"}}
+	for _, entries := range []int{64, 128, 256, 512} {
+		cfg := core.OHConfig{HistBits: 1024, BranchSlots: 16, Entries: entries, CtrBits: 6}
+		key := fmt.Sprintf("tage-gsc+imli-oh%d", entries)
+		var c4, c3 float64
+		for _, s := range suiteNames {
+			run := r.SuiteWith(key, s, func() predictor.Predictor {
+				return predictor.NewCustom(key, predictor.Options{
+					Base: predictor.BaseTAGEGSC, IMLISIC: true, IMLIOH: true, OHCfg: &cfg,
+				})
+			})
+			if s == "cbp4" {
+				c4 = run.AvgMPKI()
+			} else {
+				c3 = run.AvgMPKI()
+			}
+		}
+		t2.AddRow(fmt.Sprintf("%d", entries), stats.F(c4), stats.F(c3))
+		vals[fmt.Sprintf("oh%d.cbp4", entries)] = c4
+		vals[fmt.Sprintf("oh%d.cbp3", entries)] = c3
+	}
+	b.WriteString(t2.String())
+
+	b.WriteString("\nWH entry count sweep (tage-gsc+wh variant):\n")
+	t3 := &stats.Table{Header: []string{"entries", "CBP4", "CBP3"}}
+	for _, entries := range []int{3, 7, 15} {
+		cfg := wormhole.DefaultConfig()
+		cfg.Entries = entries
+		key := fmt.Sprintf("tage-gsc+wh%d", entries)
+		var c4, c3 float64
+		for _, s := range suiteNames {
+			run := r.SuiteWith(key, s, func() predictor.Predictor {
+				return predictor.NewCustom(key, predictor.Options{
+					Base: predictor.BaseTAGEGSC, Wormhole: true, WHCfg: &cfg,
+				})
+			})
+			if s == "cbp4" {
+				c4 = run.AvgMPKI()
+			} else {
+				c3 = run.AvgMPKI()
+			}
+		}
+		t3.AddRow(fmt.Sprintf("%d", entries), stats.F(c4), stats.F(c3))
+		vals[fmt.Sprintf("wh%d.cbp4", entries)] = c4
+		vals[fmt.Sprintf("wh%d.cbp3", entries)] = c3
+	}
+	b.WriteString(t3.String())
+
+	b.WriteString("\nIMLI counter width sweep (tage-gsc+imli variant; the paper budgets 10 bits):\n")
+	t5 := &stats.Table{Header: []string{"bits", "CBP4", "CBP3"}}
+	for _, bits := range []int{4, 6, 8, 10} {
+		key := fmt.Sprintf("tage-gsc+imli-w%d", bits)
+		var c4, c3 float64
+		for _, s := range suiteNames {
+			run := r.SuiteWith(key, s, func() predictor.Predictor {
+				return predictor.NewCustom(key, predictor.Options{
+					Base: predictor.BaseTAGEGSC, IMLISIC: true, IMLIOH: true,
+					IMLIIndexInsert: true, IMLIBits: bits,
+				})
+			})
+			if s == "cbp4" {
+				c4 = run.AvgMPKI()
+			} else {
+				c3 = run.AvgMPKI()
+			}
+		}
+		t5.AddRow(fmt.Sprintf("%d", bits), stats.F(c4), stats.F(c3))
+		vals[fmt.Sprintf("width%d.cbp4", bits)] = c4
+		vals[fmt.Sprintf("width%d.cbp3", bits)] = c3
+	}
+	b.WriteString(t5.String())
+
+	b.WriteString("\nIMLI index insertion (hashing IMLIcount into two SC tables, §4.2):\n")
+	t4 := &stats.Table{Header: []string{"config", "CBP4", "CBP3"}}
+	{
+		key := "tage-gsc+sic+oh-noinsert"
+		var c4, c3 float64
+		for _, s := range suiteNames {
+			run := r.SuiteWith(key, s, func() predictor.Predictor {
+				return predictor.NewCustom(key, predictor.Options{
+					Base: predictor.BaseTAGEGSC, IMLISIC: true, IMLIOH: true,
+				})
+			})
+			if s == "cbp4" {
+				c4 = run.AvgMPKI()
+			} else {
+				c3 = run.AvgMPKI()
+			}
+		}
+		t4.AddRow("sic+oh (no insert)", stats.F(c4), stats.F(c3))
+		vals["noinsert.cbp4"] = c4
+		vals["noinsert.cbp3"] = c3
+		full := averages(r, "tage-gsc+imli")
+		t4.AddRow("sic+oh+insert", stats.F(full["cbp4"]), stats.F(full["cbp3"]))
+		vals["insert.cbp4"] = full["cbp4"]
+		vals["insert.cbp3"] = full["cbp3"]
+	}
+	b.WriteString(t4.String())
+
+	return Report{ID: "ablation", Title: "component geometry ablations", Text: b.String(), Values: vals}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// figReduction needs real registry configs, so exercise the real path
+// at tiny budget.
+func TestFigReductionSmallBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	r := NewRunner(Params{Budget: 6000})
+	rep := figReduction(r, "figx", "test", "tage-gsc", 5)
+	// Top-5 filter keeps at most 5 rows; every row appears in Values.
+	rows := 0
+	for k := range rep.Values {
+		if strings.HasPrefix(k, "red.") {
+			rows++
+		}
+	}
+	if rows != 5 {
+		t.Errorf("top-5 filter kept %d rows", rows)
+	}
+	if !strings.Contains(rep.Text, "suite averages") {
+		t.Error("report text missing the averages line")
+	}
+}
+
+func TestAveragesHelper(t *testing.T) {
+	r := NewRunner(Params{Budget: 3000})
+	avg := averages(r, "bimodal")
+	if avg["cbp4"] <= 0 || avg["cbp3"] <= 0 {
+		t.Errorf("averages = %v", avg)
+	}
+}
+
+func TestBoolStr(t *testing.T) {
+	if boolStr(true) != "yes" || boolStr(false) != "NO" {
+		t.Error("boolStr labels")
+	}
+}
+
+func TestExperimentTitlesNonEmpty(t *testing.T) {
+	for _, e := range All() {
+		if e.Title == "" || e.ID == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+	}
+}
+
+func TestScalePointsOrdered(t *testing.T) {
+	pts := scalePoints()
+	if len(pts) != 3 {
+		t.Fatalf("got %d scale points", len(pts))
+	}
+	// Sizes must strictly increase (small < medium < large).
+	prev := 0
+	for _, pt := range pts {
+		size := 0
+		for i := 0; i < pt.cfg.NumTables; i++ {
+			logE := pt.cfg.LogEntries[0]
+			size += 1 << logE
+		}
+		size += 1 << pt.cfg.BimodalLog
+		if size <= prev {
+			t.Errorf("scale point %s not larger than predecessor", pt.label)
+		}
+		prev = size
+	}
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	wanted := []string{
+		"e1", "e2", "fig8", "fig9", "fig10", "fig11", "e7", "e8",
+		"fig13", "e10", "table1", "table2", "storage", "record", "e15", "ablation", "spec", "scaling", "localspec",
+	}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.ID] = true
+	}
+	for _, id := range wanted {
+		if !have[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if len(All()) != len(wanted) {
+		t.Errorf("experiment count = %d, want %d", len(All()), len(wanted))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(Params{Budget: 3000})
+	run1 := r.Suite("bimodal", "cbp4")
+	run2 := r.Suite("bimodal", "cbp4")
+	if &run1.Results[0] != &run2.Results[0] {
+		t.Error("second Suite call did not reuse the cached run")
+	}
+}
+
+func TestRunnerDefaultBudget(t *testing.T) {
+	r := NewRunner(Params{})
+	if r.Params().Budget != DefaultParams().Budget {
+		t.Errorf("default budget = %d", r.Params().Budget)
+	}
+}
+
+func TestStorageExperiment(t *testing.T) {
+	// Static accounting; cheap to run at any budget.
+	r := NewRunner(Params{Budget: 1000})
+	rep := runStorage(r)
+	if rep.Values["imli.bytes"] < 690 || rep.Values["imli.bytes"] > 730 {
+		t.Errorf("IMLI budget = %v bytes, paper says 708", rep.Values["imli.bytes"])
+	}
+	if rep.Values["imli.checkpoint.bits"] != 26 {
+		t.Errorf("checkpoint = %v bits, want 26", rep.Values["imli.checkpoint.bits"])
+	}
+	if !strings.Contains(rep.Text, "IMLI-SIC table") {
+		t.Error("report text missing the budget table")
+	}
+	// IMLI configs must not add in-flight window costs.
+	if rep.Values["window.tage-gsc+imli"] != 0 {
+		t.Error("IMLI config reported an in-flight window cost")
+	}
+	if rep.Values["window.tage-sc-l"] == 0 {
+		t.Error("local config reported no in-flight window cost")
+	}
+}
+
+// TestHeadlineShapes runs the central experiments at reduced budget and
+// asserts the paper's qualitative results (who wins, where).
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(Params{Budget: 50000})
+
+	// E1/Fig8 shape: IMLI improves both suites on both bases.
+	fig8 := runFig8(r)
+	for _, s := range []string{"cbp4", "cbp3"} {
+		base := fig8.Values["base."+s]
+		sic := fig8.Values["sic."+s]
+		imliV := fig8.Values["imli."+s]
+		if !(imliV < sic && sic < base) {
+			t.Errorf("TAGE-GSC %s: want imli < sic < base, got %.3f / %.3f / %.3f",
+				s, imliV, sic, base)
+		}
+		// Paper: ~6-7% total reduction; accept a broad band.
+		red := (base - imliV) / base
+		if red < 0.02 || red > 0.45 {
+			t.Errorf("TAGE-GSC %s: IMLI reduction %.1f%% outside plausible band", s, red*100)
+		}
+	}
+
+	// Fig9 concentration: the named paper benchmarks dominate the top-15.
+	fig9 := runFig9(r)
+	for _, tr := range []string{"SPEC2K6-12", "CLIENT02", "MM07", "SPEC2K6-04", "WS04"} {
+		if _, ok := fig9.Values["red."+tr]; !ok {
+			t.Errorf("%s missing from the top-15 IMLI benefit list", tr)
+		}
+	}
+
+	// E2: WH helps the wormhole benchmarks on the base...
+	e2 := runE2(r)
+	for _, tr := range []string{"SPEC2K6-12", "CLIENT02", "MM07"} {
+		if red, ok := e2.Values["tage-gsc+wh.reduction."+tr]; !ok || red <= 0 {
+			t.Errorf("WH did not benefit %s (red=%v ok=%v)", tr, red, ok)
+		}
+	}
+
+	// E10: delayed OH update is nearly free.
+	e10 := runE10(r)
+	for _, s := range []string{"cbp4", "cbp3"} {
+		loss := e10.Values["loss."+s]
+		if loss > 0.05 || loss < -0.05 {
+			t.Errorf("delayed OH update loss on %s = %.4f MPKI, want ~0", s, loss)
+		}
+	}
+
+	// Table1 shape: +I+L best; +L benefit shrinks when IMLI present.
+	t1 := runTable1(r)
+	for _, s := range []string{"cbp4", "cbp3"} {
+		if !(t1.Values["+I+L."+s] < t1.Values["Base."+s]) {
+			t.Errorf("Table1 %s: +I+L (%.3f) not better than Base (%.3f)",
+				s, t1.Values["+I+L."+s], t1.Values["Base."+s])
+		}
+		if !(t1.Values["lbenefit.imli."+s] < t1.Values["lbenefit.noimli."+s]) {
+			t.Errorf("Table1 %s: local benefit did not shrink with IMLI (%.3f vs %.3f)",
+				s, t1.Values["lbenefit.imli."+s], t1.Values["lbenefit.noimli."+s])
+		}
+	}
+
+	// Record: TAGE-SC-L+IMLI beats TAGE-SC-L.
+	rec := runRecord(r)
+	for _, s := range []string{"cbp4", "cbp3"} {
+		if !(rec.Values["record."+s] < rec.Values["tage-sc-l."+s]) {
+			t.Errorf("record %s: %.3f not below TAGE-SC-L %.3f",
+				s, rec.Values["record."+s], rec.Values["tage-sc-l."+s])
+		}
+	}
+}
+
+func TestMPKIByTrace(t *testing.T) {
+	r := NewRunner(Params{Budget: 3000})
+	run := r.Suite("bimodal", "cbp4")
+	m := MPKIByTrace(run)
+	if len(m) != 40 {
+		t.Errorf("MPKIByTrace has %d entries", len(m))
+	}
+	for _, name := range r.TraceNames("cbp4") {
+		if _, ok := m[name]; !ok {
+			t.Errorf("missing trace %s", name)
+		}
+	}
+}

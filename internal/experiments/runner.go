@@ -1,0 +1,175 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (see the per-experiment index in
+// DESIGN.md §4). Each experiment renders the same rows/series the
+// paper reports and exposes key scalar metrics for tests and for
+// EXPERIMENTS.md. Suite runs are cached inside a Runner so experiments
+// that share configurations (most of them) do not re-simulate.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Params scales the simulations.
+type Params struct {
+	// Budget is the number of branch records generated per trace.
+	Budget int
+	// Progress, when non-nil, receives one line per completed suite
+	// run.
+	Progress io.Writer
+}
+
+// DefaultParams runs the full-size evaluation.
+func DefaultParams() Params { return Params{Budget: 250000} }
+
+// QuickParams is a reduced size for benchmarks and tests; shapes hold
+// but absolute numbers are noisier.
+func QuickParams() Params { return Params{Budget: 40000} }
+
+// Runner executes and caches suite simulations.
+type Runner struct {
+	params Params
+
+	mu      sync.Mutex
+	suites  map[string][]workload.Benchmark
+	cache   map[string]sim.SuiteRun
+	started map[string]chan struct{}
+}
+
+// NewRunner returns a Runner with the given parameters.
+func NewRunner(p Params) *Runner {
+	if p.Budget <= 0 {
+		p.Budget = DefaultParams().Budget
+	}
+	return &Runner{
+		params:  p,
+		suites:  workload.Suites(),
+		cache:   map[string]sim.SuiteRun{},
+		started: map[string]chan struct{}{},
+	}
+}
+
+// Params returns the runner's parameters.
+func (r *Runner) Params() Params { return r.params }
+
+// Benchmarks returns the named suite's benchmark list.
+func (r *Runner) Benchmarks(suite string) []workload.Benchmark { return r.suites[suite] }
+
+// Suite returns the (cached) run of a registry configuration over a
+// suite ("cbp4" or "cbp3").
+func (r *Runner) Suite(config, suite string) sim.SuiteRun {
+	return r.suiteWith(config+"@"+suite, suite, func() predictor.Predictor {
+		return predictor.MustNew(config)
+	}, config)
+}
+
+// SuiteWith returns the (cached) run of a custom-built configuration.
+// key must uniquely identify the configuration.
+func (r *Runner) SuiteWith(key, suite string, builder func() predictor.Predictor) sim.SuiteRun {
+	return r.suiteWith(key+"@"+suite, suite, builder, key)
+}
+
+func (r *Runner) suiteWith(cacheKey, suite string, builder func() predictor.Predictor, name string) sim.SuiteRun {
+	r.mu.Lock()
+	if run, ok := r.cache[cacheKey]; ok {
+		r.mu.Unlock()
+		return run
+	}
+	if ch, running := r.started[cacheKey]; running {
+		r.mu.Unlock()
+		<-ch
+		r.mu.Lock()
+		run := r.cache[cacheKey]
+		r.mu.Unlock()
+		return run
+	}
+	ch := make(chan struct{})
+	r.started[cacheKey] = ch
+	benches := r.suites[suite]
+	r.mu.Unlock()
+
+	run := sim.RunSuiteWith(builder, name, suite, benches, r.params.Budget)
+
+	r.mu.Lock()
+	r.cache[cacheKey] = run
+	delete(r.started, cacheKey)
+	close(ch)
+	r.mu.Unlock()
+	if r.params.Progress != nil {
+		fmt.Fprintf(r.params.Progress, "ran %-24s %s: %.3f MPKI\n", name, suite, run.AvgMPKI())
+	}
+	return run
+}
+
+// MPKIByTrace returns trace name → MPKI for a run.
+func MPKIByTrace(run sim.SuiteRun) map[string]float64 {
+	m := make(map[string]float64, len(run.Results))
+	for _, res := range run.Results {
+		m[res.Trace] = res.MPKI()
+	}
+	return m
+}
+
+// TraceNames returns the trace names of a suite, in suite order.
+func (r *Runner) TraceNames(suite string) []string {
+	benches := r.suites[suite]
+	out := make([]string, len(benches))
+	for i, b := range benches {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	// ID is the experiment identifier (e1, fig8, table1, ...).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Text is the rendered report (tables/series).
+	Text string
+	// Values holds key metrics for tests and EXPERIMENTS.md, keyed by
+	// stable names.
+	Values map[string]float64
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) Report
+}
+
+var experimentList []Experiment
+
+func register(e Experiment) { experimentList = append(experimentList, e) }
+
+// All returns every experiment in declaration order.
+func All() []Experiment { return append([]Experiment(nil), experimentList...) }
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range experimentList {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}
+
+// IDs lists all experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, len(experimentList))
+	for i, e := range experimentList {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}

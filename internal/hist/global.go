@@ -1,0 +1,134 @@
+// Package hist implements the branch history structures that the
+// predictors in this repository are built from: the speculative global
+// history buffer, folded (cyclically compressed) histories for table
+// indexing, path history, and local history including the in-flight
+// window model the paper contrasts IMLI against (§2.3).
+package hist
+
+import "fmt"
+
+// Global is the speculative global branch history: a circular bit
+// buffer with a speculative head pointer and a commit head pointer,
+// exactly the structure §2.3.1 of the paper describes. Predictions
+// append speculatively; commit advances the commit pointer; a
+// misprediction is repaired by restoring the speculative pointer from a
+// checkpoint (see Checkpoint/Restore).
+type Global struct {
+	bits    []byte
+	mask    uint32 // len(bits)-1
+	specPtr uint32 // next write position (speculative head)
+	commit  uint32 // commit head
+}
+
+// NewGlobal returns a global history buffer able to hold at least
+// capacity outcomes. capacity is rounded up to a power of two.
+func NewGlobal(capacity int) *Global {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Global{bits: make([]byte, n), mask: uint32(n - 1)}
+}
+
+// Push appends one outcome at the speculative head.
+func (g *Global) Push(taken bool) {
+	var b byte
+	if taken {
+		b = 1
+	}
+	g.bits[g.specPtr&g.mask] = b
+	g.specPtr++
+}
+
+// Bit returns the outcome i positions back from the speculative head;
+// Bit(0) is the most recently pushed outcome.
+func (g *Global) Bit(i int) byte {
+	return g.bits[(g.specPtr-1-uint32(i))&g.mask]
+}
+
+// Len returns the buffer capacity in bits.
+func (g *Global) Len() int { return len(g.bits) }
+
+// Commit advances the commit head by n outcomes (branches retiring).
+func (g *Global) Commit(n int) { g.commit += uint32(n) }
+
+// SpecDepth returns the number of speculative (uncommitted) outcomes.
+func (g *Global) SpecDepth() int { return int(g.specPtr - g.commit) }
+
+// GlobalCheckpoint is the state saved per in-flight branch to repair
+// the speculative global history: just the head pointer. The paper
+// notes this is ~11 bits for the 256 Kbit TAGE-SC-L.
+type GlobalCheckpoint struct {
+	SpecPtr uint32
+}
+
+// Checkpoint captures the speculative head pointer.
+func (g *Global) Checkpoint() GlobalCheckpoint {
+	return GlobalCheckpoint{SpecPtr: g.specPtr}
+}
+
+// Restore rewinds the speculative head to a checkpoint taken earlier.
+// Outcomes pushed after the checkpoint become dead; their storage is
+// overwritten by the correct path.
+func (g *Global) Restore(c GlobalCheckpoint) { g.specPtr = c.SpecPtr }
+
+// CheckpointBits returns the number of bits a hardware checkpoint of
+// the speculative state needs: log2 of the buffer size.
+func (g *Global) CheckpointBits() int {
+	n := 0
+	for c := len(g.bits); c > 1; c >>= 1 {
+		n++
+	}
+	return n
+}
+
+func (g *Global) String() string {
+	return fmt.Sprintf("Global{cap=%d spec=%d commit=%d}", len(g.bits), g.specPtr, g.commit)
+}
+
+// Path is the global path history: low-order target/PC address bits of
+// every branch (conditional or not), as suggested by Nair and used by
+// TAGE for index hashing.
+type Path struct {
+	h    uint64
+	bits int
+}
+
+// NewPath returns a path history keeping the given number of bits
+// (max 64).
+func NewPath(bits int) *Path {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 64 {
+		bits = 64
+	}
+	return &Path{bits: bits}
+}
+
+// Push shifts in one address bit of the branch PC.
+func (p *Path) Push(pc uint64) {
+	p.h = (p.h << 1) | ((pc >> 2) & 1)
+	if p.bits < 64 {
+		p.h &= (1 << uint(p.bits)) - 1
+	}
+}
+
+// Value returns the current path history bits. It doubles as the
+// checkpoint value: Restore(Value()) rewinds speculative pushes.
+func (p *Path) Value() uint64 { return p.h }
+
+// Restore rewinds the path history to a value captured earlier with
+// Value (misprediction repair).
+func (p *Path) Restore(v uint64) {
+	if p.bits < 64 {
+		v &= (1 << uint(p.bits)) - 1
+	}
+	p.h = v
+}
+
+// Bits returns the configured width.
+func (p *Path) Bits() int { return p.bits }

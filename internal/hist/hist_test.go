@@ -1,0 +1,298 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalPushBit(t *testing.T) {
+	g := NewGlobal(64)
+	seq := []bool{true, false, true, true, false}
+	for _, b := range seq {
+		g.Push(b)
+	}
+	for i := range seq {
+		want := byte(0)
+		if seq[len(seq)-1-i] {
+			want = 1
+		}
+		if got := g.Bit(i); got != want {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGlobalCapacityRounding(t *testing.T) {
+	g := NewGlobal(100)
+	if g.Len() != 128 {
+		t.Errorf("capacity = %d, want 128", g.Len())
+	}
+	if NewGlobal(0).Len() != 1 {
+		t.Error("minimum capacity not enforced")
+	}
+}
+
+func TestGlobalWraparound(t *testing.T) {
+	g := NewGlobal(8)
+	// Push more than capacity; the most recent 8 must be retrievable.
+	var last []bool
+	for i := 0; i < 100; i++ {
+		b := i%3 == 0
+		g.Push(b)
+		last = append(last, b)
+	}
+	for i := 0; i < 8; i++ {
+		want := byte(0)
+		if last[len(last)-1-i] {
+			want = 1
+		}
+		if g.Bit(i) != want {
+			t.Fatalf("after wrap, Bit(%d) = %d, want %d", i, g.Bit(i), want)
+		}
+	}
+}
+
+func TestGlobalCheckpointRestore(t *testing.T) {
+	g := NewGlobal(64)
+	for i := 0; i < 10; i++ {
+		g.Push(i%2 == 0)
+	}
+	cp := g.Checkpoint()
+	before := make([]byte, 10)
+	for i := range before {
+		before[i] = g.Bit(i)
+	}
+	// Wrong-path pushes.
+	for i := 0; i < 5; i++ {
+		g.Push(true)
+	}
+	g.Restore(cp)
+	for i := range before {
+		if g.Bit(i) != before[i] {
+			t.Fatalf("after restore, Bit(%d) = %d, want %d", i, g.Bit(i), before[i])
+		}
+	}
+}
+
+func TestGlobalSpecDepth(t *testing.T) {
+	g := NewGlobal(32)
+	for i := 0; i < 7; i++ {
+		g.Push(true)
+	}
+	if g.SpecDepth() != 7 {
+		t.Errorf("SpecDepth = %d, want 7", g.SpecDepth())
+	}
+	g.Commit(4)
+	if g.SpecDepth() != 3 {
+		t.Errorf("after commit, SpecDepth = %d, want 3", g.SpecDepth())
+	}
+}
+
+func TestGlobalCheckpointBits(t *testing.T) {
+	if got := NewGlobal(2048).CheckpointBits(); got != 11 {
+		t.Errorf("CheckpointBits(2048) = %d, want 11 (the paper's TAGE-SC-L figure)", got)
+	}
+}
+
+func TestFoldedMatchesReference(t *testing.T) {
+	// Property: incremental folded history equals the non-incremental
+	// Fold of the window, for random configs and sequences.
+	f := func(seed int64, histLen8, width8 uint8, n uint16) bool {
+		histLen := int(histLen8%200) + 1
+		width := int(width8%20) + 1
+		g := NewGlobal(512)
+		fd := NewFolded(histLen, width)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n%2000)+histLen+10; i++ {
+			g.Push(rng.Intn(2) == 0)
+			fd.Update(g)
+		}
+		return fd.Value() == Fold(g, histLen, width)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldedZeroLength(t *testing.T) {
+	g := NewGlobal(64)
+	fd := NewFolded(0, 10)
+	for i := 0; i < 50; i++ {
+		g.Push(true)
+		fd.Update(g)
+	}
+	if fd.Value() != 0 {
+		t.Errorf("zero-length fold = %d, want 0", fd.Value())
+	}
+}
+
+func TestFoldedReset(t *testing.T) {
+	g := NewGlobal(256)
+	fd := NewFolded(37, 9)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		g.Push(rng.Intn(2) == 0)
+		fd.Update(g)
+	}
+	want := fd.Value()
+	fd.Reset(g)
+	if fd.Value() != want {
+		t.Errorf("Reset changed a consistent value: %d -> %d", want, fd.Value())
+	}
+}
+
+func TestFoldedWidthBound(t *testing.T) {
+	g := NewGlobal(256)
+	fd := NewFolded(100, 7)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		g.Push(rng.Intn(2) == 0)
+		fd.Update(g)
+		if fd.Value() >= 1<<7 {
+			t.Fatalf("folded value %d exceeds width", fd.Value())
+		}
+	}
+}
+
+func TestFoldedPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 0 accepted")
+		}
+	}()
+	NewFolded(10, 0)
+}
+
+func TestPathHistory(t *testing.T) {
+	p := NewPath(8)
+	if p.Bits() != 8 {
+		t.Fatalf("Bits = %d", p.Bits())
+	}
+	for i := 0; i < 100; i++ {
+		p.Push(uint64(i) << 2)
+	}
+	if p.Value() >= 1<<8 {
+		t.Errorf("path value %d exceeds width", p.Value())
+	}
+}
+
+func TestPathWidthClamping(t *testing.T) {
+	if NewPath(0).Bits() != 1 {
+		t.Error("lower clamp failed")
+	}
+	if NewPath(100).Bits() != 64 {
+		t.Error("upper clamp failed")
+	}
+}
+
+func TestLocalHistory(t *testing.T) {
+	l := NewLocal(256, 16)
+	pc := uint64(0x4000)
+	seq := []bool{true, true, false, true}
+	for _, b := range seq {
+		l.Push(pc, b)
+	}
+	// History bit 0 = most recent.
+	want := uint64(0)
+	for _, b := range seq {
+		want <<= 1
+		if b {
+			want |= 1
+		}
+	}
+	if got := l.Get(pc); got != want {
+		t.Errorf("local history = %b, want %b", got, want)
+	}
+}
+
+func TestLocalHistoryWidthMask(t *testing.T) {
+	l := NewLocal(16, 4)
+	pc := uint64(0x88)
+	for i := 0; i < 100; i++ {
+		l.Push(pc, true)
+	}
+	if got := l.Get(pc); got != 0xF {
+		t.Errorf("4-bit history = %x, want 0xF", got)
+	}
+}
+
+func TestLocalHistorySeparatesPCs(t *testing.T) {
+	l := NewLocal(256, 8)
+	l.Push(0x400, true)
+	l.Push(0x404, false)
+	if l.Get(0x400) == l.Get(0x404) {
+		t.Error("distinct PCs share history")
+	}
+}
+
+func TestLocalStorageBits(t *testing.T) {
+	l := NewLocal(256, 24)
+	if got := l.StorageBits(); got != 256*24 {
+		t.Errorf("StorageBits = %d, want %d", got, 256*24)
+	}
+}
+
+func TestInflightWindowLookup(t *testing.T) {
+	w := NewInflightWindow(8, 16)
+	if got := w.Lookup(5, 0xAB); got != 0xAB {
+		t.Errorf("empty window lookup = %x, want committed 0xAB", got)
+	}
+	w.Insert(InflightEntry{Index: 5, Hist: 0x01})
+	w.Insert(InflightEntry{Index: 7, Hist: 0x02})
+	w.Insert(InflightEntry{Index: 5, Hist: 0x03})
+	if got := w.Lookup(5, 0xAB); got != 0x03 {
+		t.Errorf("lookup = %x, want most recent 0x03", got)
+	}
+	if w.Searches != 2 || w.Comparisons != 3 {
+		t.Errorf("cost accounting: searches=%d comparisons=%d", w.Searches, w.Comparisons)
+	}
+}
+
+func TestInflightWindowCapacity(t *testing.T) {
+	w := NewInflightWindow(4, 8)
+	for i := 0; i < 10; i++ {
+		w.Insert(InflightEntry{Index: uint64(i), Hist: uint64(i)})
+	}
+	if w.Len() != 4 {
+		t.Errorf("window grew past capacity: %d", w.Len())
+	}
+	// Oldest surviving entry must be index 6.
+	if got := w.Lookup(6, 99); got != 6 {
+		t.Errorf("entry 6 evicted prematurely (got %d)", got)
+	}
+	if got := w.Lookup(5, 99); got != 99 {
+		t.Errorf("evicted entry still found: %d", got)
+	}
+}
+
+func TestInflightWindowRetireFlush(t *testing.T) {
+	w := NewInflightWindow(8, 8)
+	for i := 0; i < 6; i++ {
+		w.Insert(InflightEntry{Index: uint64(i), Hist: uint64(i)})
+	}
+	w.Retire(2)
+	if w.Len() != 4 {
+		t.Errorf("after retire, len = %d, want 4", w.Len())
+	}
+	w.Flush(1)
+	if w.Len() != 1 {
+		t.Errorf("after flush, len = %d, want 1", w.Len())
+	}
+	if got := w.Lookup(2, 99); got != 2 {
+		t.Errorf("surviving entry lost: %d", got)
+	}
+	w.Retire(100) // over-retire must clamp
+	if w.Len() != 0 {
+		t.Errorf("over-retire left %d entries", w.Len())
+	}
+	w.Flush(-1) // negative keep clamps to 0
+}
+
+func TestInflightWindowStorageBits(t *testing.T) {
+	w := NewInflightWindow(256, 16)
+	// 256 entries x (16 history bits + 8 index bits).
+	if got := w.StorageBits(); got != 256*24 {
+		t.Errorf("StorageBits = %d, want %d", got, 256*24)
+	}
+}

@@ -1,0 +1,143 @@
+package hist
+
+// Local is a table of per-branch (per-PC-index) local histories, the
+// structure that state-of-the-art academic predictors add to their
+// statistical correctors and that the paper argues is expensive to
+// manage speculatively (§2.3.2).
+type Local struct {
+	hist []uint64
+	mask uint64
+	bits int // history bits kept per entry
+}
+
+// NewLocal returns a local history table with entries entries (rounded
+// up to a power of two) of bits-bit histories (max 64).
+func NewLocal(entries, bits int) *Local {
+	if bits < 1 || bits > 64 {
+		panic("hist: local history bits out of range")
+	}
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &Local{hist: make([]uint64, n), mask: uint64(n - 1), bits: bits}
+}
+
+// Index returns the table index for a branch PC.
+func (l *Local) Index(pc uint64) uint64 { return (pc >> 2) & l.mask }
+
+// Get returns the local history for pc.
+func (l *Local) Get(pc uint64) uint64 { return l.hist[l.Index(pc)] }
+
+// Push shifts the branch outcome into pc's local history. In hardware
+// this happens at commit time; the speculative value for in-flight
+// occurrences must come from an InflightWindow.
+func (l *Local) Push(pc uint64, taken bool) {
+	i := l.Index(pc)
+	h := l.hist[i] << 1
+	if taken {
+		h |= 1
+	}
+	if l.bits < 64 {
+		h &= (1 << uint(l.bits)) - 1
+	}
+	l.hist[i] = h
+}
+
+// Entries returns the number of table entries.
+func (l *Local) Entries() int { return len(l.hist) }
+
+// Bits returns the per-entry history width.
+func (l *Local) Bits() int { return l.bits }
+
+// StorageBits returns the storage cost of the table.
+func (l *Local) StorageBits() int { return len(l.hist) * l.bits }
+
+// InflightEntry is one speculative branch in the processor window,
+// carrying the local history its successor occurrences must observe.
+type InflightEntry struct {
+	Index uint64 // local history table index of the branch
+	Hist  uint64 // speculative local history after this occurrence
+}
+
+// InflightWindow models the window of in-flight branches that a
+// hardware local-history predictor must associatively search on every
+// fetch (Figure 3 of the paper). It exists to make the §2.3 cost
+// argument concrete: Lookup counts comparisons, and StorageBits counts
+// the history bits that must ride in the window.
+type InflightWindow struct {
+	entries  []InflightEntry
+	capacity int
+	histBits int
+
+	// Searches and Comparisons accumulate the associative search cost.
+	Searches    uint64
+	Comparisons uint64
+}
+
+// NewInflightWindow returns a window holding up to capacity in-flight
+// branches each carrying histBits of speculative local history.
+func NewInflightWindow(capacity, histBits int) *InflightWindow {
+	return &InflightWindow{capacity: capacity, histBits: histBits}
+}
+
+// Lookup returns the speculative local history for the most recent
+// in-flight occurrence of index, falling back to committed if none is
+// in flight. Every call models one full associative search of the
+// window.
+func (w *InflightWindow) Lookup(index uint64, committed uint64) uint64 {
+	w.Searches++
+	w.Comparisons += uint64(len(w.entries))
+	for i := len(w.entries) - 1; i >= 0; i-- {
+		if w.entries[i].Index == index {
+			return w.entries[i].Hist
+		}
+	}
+	return committed
+}
+
+// Insert records a newly predicted branch with its speculative history.
+// If the window is full the oldest entry is dropped (it would have
+// committed in hardware).
+func (w *InflightWindow) Insert(e InflightEntry) {
+	if len(w.entries) == w.capacity {
+		copy(w.entries, w.entries[1:])
+		w.entries = w.entries[:len(w.entries)-1]
+	}
+	w.entries = append(w.entries, e)
+}
+
+// Retire drops the n oldest entries (branches committing).
+func (w *InflightWindow) Retire(n int) {
+	if n > len(w.entries) {
+		n = len(w.entries)
+	}
+	copy(w.entries, w.entries[n:])
+	w.entries = w.entries[:len(w.entries)-n]
+}
+
+// Flush drops every entry younger than or equal to the mispredicted
+// branch, modelling a pipeline flush; keep is the number of older
+// entries to preserve.
+func (w *InflightWindow) Flush(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	if keep < len(w.entries) {
+		w.entries = w.entries[:keep]
+	}
+}
+
+// Len returns the number of in-flight entries.
+func (w *InflightWindow) Len() int { return len(w.entries) }
+
+// StorageBits returns the history storage the window adds to the
+// processor: capacity × (histBits + index tag). This is the hardware
+// cost the paper contrasts with the 26-bit IMLI checkpoint.
+func (w *InflightWindow) StorageBits() int {
+	idxBits := 0
+	for c := w.capacity; c > 1; c >>= 1 {
+		idxBits++
+	}
+	return w.capacity * (w.histBits + idxBits)
+}

@@ -1,0 +1,99 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestGlobalRestoreProperty: arbitrary push/checkpoint/wrong-path/
+// restore sequences leave the retrievable window identical to a
+// reference model that never speculated.
+func TestGlobalRestoreProperty(t *testing.T) {
+	type op struct {
+		Bit       bool
+		WrongPath uint8 // number of wrong-path pushes to inject & repair
+	}
+	f := func(ops []op) bool {
+		g := NewGlobal(256)
+		var ref []bool
+		for _, o := range ops {
+			cp := g.Checkpoint()
+			// Wrong path: push garbage, then repair.
+			for i := 0; i < int(o.WrongPath%5); i++ {
+				g.Push(i%2 == 0)
+			}
+			g.Restore(cp)
+			// Right path.
+			g.Push(o.Bit)
+			ref = append(ref, o.Bit)
+		}
+		limit := len(ref)
+		if limit > 200 {
+			limit = 200
+		}
+		for i := 0; i < limit; i++ {
+			want := byte(0)
+			if ref[len(ref)-1-i] {
+				want = 1
+			}
+			if g.Bit(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPathRestoreProperty mirrors the global-history property for the
+// path register.
+func TestPathRestoreProperty(t *testing.T) {
+	f := func(pcs []uint16, wrong []uint16) bool {
+		a := NewPath(24)
+		b := NewPath(24)
+		for _, pc := range pcs {
+			a.Push(uint64(pc))
+			// b takes a detour and repairs it.
+			cp := b.Value()
+			for _, w := range wrong {
+				b.Push(uint64(w))
+			}
+			b.Restore(cp)
+			b.Push(uint64(pc))
+		}
+		return a.Value() == b.Value()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldedRestoreViaReset: after a global-history restore, Reset
+// recomputes the folded value the incremental path would have had.
+func TestFoldedRestoreViaReset(t *testing.T) {
+	f := func(bits []bool, wrongLen uint8) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		g := NewGlobal(512)
+		fd := NewFolded(37, 11)
+		for _, b := range bits {
+			g.Push(b)
+			fd.Update(g)
+		}
+		want := fd.Value()
+		cp := g.Checkpoint()
+		for i := 0; i < int(wrongLen%7)+1; i++ {
+			g.Push(true)
+			fd.Update(g)
+		}
+		g.Restore(cp)
+		fd.Reset(g)
+		return fd.Value() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

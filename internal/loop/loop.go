@@ -1,0 +1,230 @@
+// Package loop implements a loop predictor in the style of Sherwood &
+// Calder's loop termination predictor and the one shipped in Seznec's
+// TAGE-SC-L: a small tagged associative table that learns the constant
+// trip count of regular loops and predicts the exit iteration.
+//
+// Besides predicting, the package exposes the trip count of the
+// currently executing inner-most loop, which is the substrate the
+// wormhole predictor needs (§2.2.2: "WH uses the loop predictor to
+// recognise the loop and extract the number of iterations").
+package loop
+
+import "repro/internal/num"
+
+const (
+	tagBits     = 14
+	iterBits    = 10
+	maxIter     = (1 << iterBits) - 1
+	confBits    = 3
+	confMax     = (1 << confBits) - 1
+	ageBits     = 8
+	ageMax      = (1 << ageBits) - 1
+	counterBits = iterBits
+)
+
+type entry struct {
+	tag         uint16
+	nbIter      uint16 // learned constant trip count (0 = unknown)
+	currentIter uint16 // speculative iteration counter
+	conf        uint8  // confidence that nbIter repeats
+	age         uint8  // replacement age
+	dir         bool   // the "looping" direction (usually taken)
+}
+
+// Config sizes the predictor.
+type Config struct {
+	Sets int // associative sets (rounded up to power of two)
+	Ways int // entries per set
+}
+
+// DefaultConfig matches the small loop predictors in recent TAGE-SC-L
+// submissions (64 entries, 4-way).
+func DefaultConfig() Config { return Config{Sets: 16, Ways: 4} }
+
+// Predictor is a loop predictor.
+type Predictor struct {
+	cfg     Config
+	entries []entry
+	setMask uint64
+	rng     *num.Rand
+
+	// prediction state between Predict and Update
+	hitWay    int
+	hitSet    int
+	predValid bool
+	pred      bool
+
+	// current inner-most loop tracking for the wormhole predictor:
+	// the entry of the most recent backward conditional branch.
+	curNbIter int
+	curConf   bool
+}
+
+// New returns a loop predictor.
+func New(cfg Config) *Predictor {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		cfg = DefaultConfig()
+	}
+	sets := num.Pow2Ceil(cfg.Sets)
+	cfg.Sets = sets
+	return &Predictor{
+		cfg:     cfg,
+		entries: make([]entry, sets*cfg.Ways),
+		setMask: uint64(sets - 1),
+		rng:     num.NewRand(0x100c0),
+	}
+}
+
+func (p *Predictor) set(pc uint64) int { return int((pc >> 2) & p.setMask) }
+
+// tag hashes the whole PC so that branches whose addresses differ only
+// outside the set-index bits still get distinct tags.
+func (p *Predictor) tag(pc uint64) uint16 {
+	return uint16((num.Mix(pc>>2) >> 16) & ((1 << tagBits) - 1))
+}
+
+func (p *Predictor) lookup(pc uint64) (set, way int) {
+	set = p.set(pc)
+	t := p.tag(pc)
+	base := set * p.cfg.Ways
+	for w := 0; w < p.cfg.Ways; w++ {
+		if p.entries[base+w].age > 0 && p.entries[base+w].tag == t {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Predict returns (direction, valid). valid is true only when the
+// entry is confident about a constant trip count; callers treat an
+// invalid prediction as "no opinion".
+func (p *Predictor) Predict(pc uint64) (bool, bool) {
+	set, way := p.lookup(pc)
+	p.hitSet, p.hitWay = set, way
+	p.predValid = false
+	if way < 0 {
+		return false, false
+	}
+	e := &p.entries[set*p.cfg.Ways+way]
+	if e.nbIter == 0 || e.conf < confMax {
+		return false, false
+	}
+	p.predValid = true
+	if e.currentIter+1 >= e.nbIter {
+		p.pred = !e.dir // exit iteration
+	} else {
+		p.pred = e.dir
+	}
+	return p.pred, true
+}
+
+// Update trains the predictor with the resolved outcome of pc. Must
+// follow a Predict for the same pc. mainMispredicted reports whether
+// the predictor this loop predictor assists mispredicted the branch;
+// it gates allocation, matching the TAGE-SC-L policy of only spending
+// entries on branches the main predictor gets wrong. backward marks
+// loop-closing branches: only those may allocate entries or refresh
+// the inner-most-loop tracking.
+func (p *Predictor) Update(pc uint64, taken bool, mainMispredicted, backward bool) {
+	set, way := p.hitSet, p.hitWay
+	if way >= 0 {
+		e := &p.entries[set*p.cfg.Ways+way]
+		if p.predValid && p.pred != taken {
+			// Confident prediction was wrong: the loop is not regular.
+			*e = entry{}
+		} else if taken == e.dir {
+			// Still looping.
+			if e.currentIter < maxIter {
+				e.currentIter++
+			} else {
+				*e = entry{} // trip count overflows what we can track
+			}
+			if e.nbIter > 0 && e.currentIter > e.nbIter {
+				// Ran past the learned trip count: not constant.
+				e.conf = 0
+				e.nbIter = 0
+			}
+		} else {
+			// Loop exit observed.
+			iter := e.currentIter + 1
+			switch {
+			case e.nbIter == 0:
+				e.nbIter = iter
+				e.conf = 0
+			case e.nbIter == iter:
+				if e.conf < confMax {
+					e.conf++
+				}
+				if e.age < ageMax {
+					e.age++
+				}
+			default:
+				// Trip count changed: start over.
+				e.nbIter = iter
+				e.conf = 0
+			}
+			e.currentIter = 0
+		}
+	} else if mainMispredicted && backward && !taken && p.rng.Intn(4) == 0 {
+		// Allocate on a main-predictor misprediction. A mispredicted
+		// not-taken outcome on a backward branch is typically the loop
+		// exit, so assume the looping direction is taken.
+		p.allocate(set, pc, true)
+	}
+	// Track the inner-most loop trip count for the wormhole predictor.
+	// Only loop-closing (backward) branches identify the current inner
+	// loop; the forward branches of the loop body must not disturb it.
+	if !backward {
+		return
+	}
+	if way >= 0 {
+		e := &p.entries[set*p.cfg.Ways+way]
+		p.curNbIter = int(e.nbIter)
+		p.curConf = e.nbIter > 0 && e.conf >= confMax
+	} else {
+		p.curNbIter = 0
+		p.curConf = false
+	}
+}
+
+func (p *Predictor) allocate(set int, pc uint64, dir bool) {
+	base := set * p.cfg.Ways
+	victim := -1
+	for w := 0; w < p.cfg.Ways; w++ {
+		if p.entries[base+w].age == 0 {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		// Age everything; allocate only when something has expired.
+		for w := 0; w < p.cfg.Ways; w++ {
+			if p.entries[base+w].age > 0 {
+				p.entries[base+w].age--
+			}
+		}
+		return
+	}
+	p.entries[base+victim] = entry{
+		tag: p.tag(pc),
+		age: ageMax,
+		dir: dir,
+	}
+}
+
+// CurrentLoop returns the learned trip count of the inner-most loop
+// currently executing (the loop whose backward branch was most
+// recently updated) and whether that count is confident. This is the
+// hint the wormhole predictor consumes.
+func (p *Predictor) CurrentLoop() (nbIter int, confident bool) {
+	return p.curNbIter, p.curConf
+}
+
+// Entries returns the total entry count.
+func (p *Predictor) Entries() int { return len(p.entries) }
+
+// StorageBits returns the predictor storage cost.
+func (p *Predictor) StorageBits() int {
+	perEntry := tagBits + 2*iterBits + confBits + ageBits + 1
+	return len(p.entries) * perEntry
+}

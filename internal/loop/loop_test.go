@@ -1,0 +1,151 @@
+package loop
+
+import "testing"
+
+// runLoop feeds the predictor reps executions of a loop with the given
+// trip count, returning mispredictions over the confident phase.
+func runLoop(t *testing.T, p *Predictor, pc uint64, trip, reps int, countMissesAfter int) int {
+	t.Helper()
+	miss := 0
+	n := 0
+	for r := 0; r < reps; r++ {
+		for m := 0; m < trip; m++ {
+			taken := m < trip-1
+			pred, valid := p.Predict(pc)
+			if valid && pred != taken && n >= countMissesAfter {
+				miss++
+			}
+			// The main predictor "mispredicts" exactly the exits, which
+			// is the worst realistic case and drives allocation.
+			p.Update(pc, taken, !taken, true)
+			n++
+		}
+	}
+	return miss
+}
+
+func TestLearnsConstantTrip(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	// After warmup the predictor must catch every exit.
+	missesEarly := runLoop(t, p, pc, 20, 40, 0)
+	_ = missesEarly
+	misses := runLoop(t, p, pc, 20, 50, 0)
+	if misses != 0 {
+		t.Errorf("confident loop predictor mispredicted %d times on a constant-trip loop", misses)
+	}
+	ni, conf := p.CurrentLoop()
+	if !conf || ni != 20 {
+		t.Errorf("CurrentLoop = (%d,%v), want (20,true)", ni, conf)
+	}
+}
+
+func TestPredictsExitIteration(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x2000)
+	runLoop(t, p, pc, 8, 60, 0)
+	// Walk one loop manually: 7 taken then an exit.
+	for m := 0; m < 8; m++ {
+		pred, valid := p.Predict(pc)
+		if !valid {
+			t.Fatalf("iteration %d: prediction not valid after training", m)
+		}
+		want := m < 7
+		if pred != want {
+			t.Errorf("iteration %d: pred=%v want=%v", m, pred, want)
+		}
+		p.Update(pc, want, false, true)
+	}
+}
+
+func TestIrregularTripInvalidates(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x3000)
+	runLoop(t, p, pc, 10, 60, 0)
+	if _, conf := p.CurrentLoop(); !conf {
+		t.Fatal("not confident after regular training")
+	}
+	// Change the trip count; the entry must lose confidence rather
+	// than keep mispredicting.
+	for r := 0; r < 4; r++ {
+		trip := 7 + r // varying
+		for m := 0; m < trip; m++ {
+			p.Predict(pc)
+			p.Update(pc, m < trip-1, false, true)
+		}
+	}
+	if _, valid := p.Predict(pc); valid {
+		t.Error("still confidently predicting an irregular loop")
+	}
+}
+
+func TestForwardBranchesDoNotDisturbCurrentLoop(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x4000)
+	runLoop(t, p, pc, 12, 60, 0)
+	ni, conf := p.CurrentLoop()
+	if !conf {
+		t.Fatal("not confident")
+	}
+	// A forward branch in the loop body must not clear the tracking.
+	p.Predict(0x5000)
+	p.Update(0x5000, true, true, false)
+	ni2, conf2 := p.CurrentLoop()
+	if ni2 != ni || conf2 != conf {
+		t.Errorf("forward branch disturbed CurrentLoop: (%d,%v) -> (%d,%v)", ni, conf, ni2, conf2)
+	}
+}
+
+func TestNoAllocationWithoutMisprediction(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x6000)
+	for r := 0; r < 30; r++ {
+		for m := 0; m < 5; m++ {
+			p.Predict(pc)
+			p.Update(pc, m < 4, false, true) // main predictor always right
+		}
+	}
+	if _, valid := p.Predict(pc); valid {
+		t.Error("allocated an entry although the main predictor never mispredicted")
+	}
+}
+
+func TestDefaultOnBadConfig(t *testing.T) {
+	p := New(Config{})
+	if p.Entries() != 64 {
+		t.Errorf("default entries = %d, want 64", p.Entries())
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	p := New(Config{Sets: 4, Ways: 4})
+	perEntry := 14 + 2*10 + 3 + 8 + 1
+	if got := p.StorageBits(); got != 16*perEntry {
+		t.Errorf("StorageBits = %d, want %d", got, 16*perEntry)
+	}
+}
+
+func TestDistinctLoopsCoexist(t *testing.T) {
+	p := New(DefaultConfig())
+	// Two nested-style loops with different trip counts.
+	for r := 0; r < 80; r++ {
+		for m := 0; m < 6; m++ {
+			p.Predict(0x7000)
+			p.Update(0x7000, m < 5, m == 5, true)
+		}
+		for m := 0; m < 9; m++ {
+			p.Predict(0x7100)
+			p.Update(0x7100, m < 8, m == 8, true)
+		}
+	}
+	p.Predict(0x7000)
+	p.Update(0x7000, true, false, true)
+	if ni, conf := p.CurrentLoop(); !conf || ni != 6 {
+		t.Errorf("loop A CurrentLoop = (%d,%v), want (6,true)", ni, conf)
+	}
+	p.Predict(0x7100)
+	p.Update(0x7100, true, false, true)
+	if ni, conf := p.CurrentLoop(); !conf || ni != 9 {
+		t.Errorf("loop B CurrentLoop = (%d,%v), want (9,true)", ni, conf)
+	}
+}

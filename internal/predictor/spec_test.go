@@ -1,0 +1,127 @@
+package predictor
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// driveN feeds n branches of a fixed loop-nest-like stream and returns
+// the composite.
+func driveN(c *Composite, n int) {
+	for i := 0; i < n; i++ {
+		pc := uint64(0x1000 + (i%5)*4)
+		target := pc + 64
+		if i%5 == 4 {
+			target = pc - 128 // backward branch
+		}
+		taken := i%7 != 6
+		c.Predict(pc)
+		c.Train(pc, target, taken)
+	}
+}
+
+func TestSpecCheckpointRoundTrip(t *testing.T) {
+	c := MustNew("tage-gsc+imli").(*Composite)
+	driveN(c, 500)
+
+	ck := c.SpecCheckpoint()
+	// Record the prediction for a probe PC in the current state.
+	probe := func() bool {
+		p := c.Predict(0x4040)
+		// Predict has no side effects on tables; no Train needed for
+		// the probe, but TAGE scratch must not be reused across Train,
+		// so probe only between full Predict/Train pairs.
+		return p
+	}
+	before := probe()
+
+	// Wrong-path speculation: push several speculative outcomes.
+	for i := 0; i < 10; i++ {
+		c.SpecPush(0x2000+uint64(i*4), 0x2100, i%2 == 0)
+	}
+	c.SpecRestore(ck)
+	if got := probe(); got != before {
+		t.Error("prediction changed after checkpoint/restore round trip")
+	}
+	after := c.SpecCheckpoint()
+	if after != ck {
+		t.Errorf("restored state checkpoint differs: %+v vs %+v", after, ck)
+	}
+}
+
+func TestSpecPushBackwardAffectsIMLI(t *testing.T) {
+	c := MustNew("tage-gsc+imli").(*Composite)
+	ck0 := c.SpecCheckpoint()
+	if ck0.IMLI != 0 {
+		t.Fatalf("fresh IMLI count = %d", ck0.IMLI)
+	}
+	// Taken backward branches tick the counter.
+	for i := 0; i < 3; i++ {
+		c.SpecPush(0x2000, 0x1f00, true)
+	}
+	if got := c.SpecCheckpoint().IMLI; got != 3 {
+		t.Errorf("IMLI after 3 taken backwards = %d", got)
+	}
+	// A forward branch does not.
+	c.SpecPush(0x2000, 0x2100, true)
+	if got := c.SpecCheckpoint().IMLI; got != 3 {
+		t.Errorf("forward branch changed IMLI to %d", got)
+	}
+	// A not-taken backward resets.
+	c.SpecPush(0x2000, 0x1f00, false)
+	if got := c.SpecCheckpoint().IMLI; got != 0 {
+		t.Errorf("not-taken backward left IMLI at %d", got)
+	}
+}
+
+func TestTrainEqualsTablesPlusPush(t *testing.T) {
+	// Train must be exactly TrainTables followed by SpecPush: two
+	// composites driven both ways stay prediction-identical.
+	a := MustNew("tage-gsc+imli").(*Composite)
+	b := MustNew("tage-gsc+imli").(*Composite)
+	for i := 0; i < 3000; i++ {
+		pc := uint64(0x1000 + (i%9)*4)
+		target := pc + 32
+		if i%9 == 8 {
+			target = pc - 64
+		}
+		taken := (i/3)%5 != 4
+		pa := a.Predict(pc)
+		pb := b.Predict(pc)
+		if pa != pb {
+			t.Fatalf("prediction %d diverged", i)
+		}
+		a.Train(pc, target, taken)
+		b.TrainTables(pc, target, taken)
+		b.SpecPush(pc, target, taken)
+	}
+}
+
+func TestSpecStateIncludesConfiguredParts(t *testing.T) {
+	withIMLI := MustNew("tage-gsc+imli").(*Composite)
+	withoutIMLI := MustNew("tage-gsc").(*Composite)
+	// Both checkpoints must be produced without panicking; the IMLI
+	// fields stay zero when the components are absent.
+	withoutIMLI.SpecPush(0x2000, 0x1f00, true)
+	if ck := withoutIMLI.SpecCheckpoint(); ck.IMLI != 0 || ck.Pipe != 0 {
+		t.Errorf("base config checkpoint carries IMLI state: %+v", ck)
+	}
+	withIMLI.SpecPush(0x2000, 0x1f00, true)
+	if ck := withIMLI.SpecCheckpoint(); ck.IMLI != 1 {
+		t.Errorf("IMLI config checkpoint did not track the counter: %+v", ck)
+	}
+	withoutIMLI.SpecRestore(withoutIMLI.SpecCheckpoint())
+}
+
+func TestTrackOtherMaintainsHistory(t *testing.T) {
+	// TrackOther must advance the path/global history context: two
+	// streams differing only in an unconditional branch's target
+	// produce different downstream contexts.
+	a := MustNew("tage-gsc").(*Composite)
+	ha0 := a.SpecCheckpoint().Global
+	a.TrackOther(0x3000, 0x3204, trace.UncondDirect, true)
+	if a.SpecCheckpoint().Global == ha0 {
+		t.Error("TrackOther did not push history")
+	}
+}

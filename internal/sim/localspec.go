@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/hist"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// LocalMode selects how the pipeline model manages speculative local
+// history (§2.3.2, Figure 3 of the paper).
+type LocalMode uint8
+
+const (
+	// LocalIdeal updates the local history table immediately (the
+	// trace-driven idealisation every academic study uses).
+	LocalIdeal LocalMode = iota
+	// LocalCommitOnly updates the local history table only at commit
+	// (delay branches late) and reads the stale committed table at
+	// prediction time — a hardware design that refuses to build the
+	// in-flight window.
+	LocalCommitOnly
+	// LocalForwarded updates at commit but forwards the speculative
+	// history of in-flight occurrences through an associative window
+	// search on every fetched branch — Figure 3. Must be exactly
+	// equivalent to LocalIdeal; the cost is the search itself.
+	LocalForwarded
+)
+
+// String names the mode.
+func (m LocalMode) String() string {
+	switch m {
+	case LocalIdeal:
+		return "ideal"
+	case LocalCommitOnly:
+		return "commit-only"
+	case LocalForwarded:
+		return "forwarded"
+	default:
+		return "local?"
+	}
+}
+
+// LocalSpecResult is the outcome of a local-history pipeline run.
+type LocalSpecResult struct {
+	Result
+	// Searches and Comparisons are the associative window costs (one
+	// search per fetched conditional branch in forwarded mode).
+	Searches    uint64
+	Comparisons uint64
+	// WindowBits is the speculative history storage riding in flight.
+	WindowBits int
+}
+
+type pendingLocal struct {
+	pc    uint64
+	taken bool
+}
+
+// RunLocalSpec runs a local-history configuration under the given
+// pipeline mode with a commit delay of delay branches.
+func RunLocalSpec(config string, mode LocalMode, delay int, b workload.Benchmark, budget int) (LocalSpecResult, error) {
+	p, err := predictor.New(config)
+	if err != nil {
+		return LocalSpecResult{}, err
+	}
+	c, ok := p.(*predictor.Composite)
+	if !ok || c.LocalGroup() == nil {
+		return LocalSpecResult{}, fmt.Errorf("sim: configuration %q has no local history component", config)
+	}
+	res := LocalSpecResult{Result: Result{Trace: b.Name, Predictor: config + "/" + mode.String()}}
+	if mode == LocalIdeal {
+		res.Result = Feed(p, b.Name, func(emit func(trace.Record)) { b.Generate(budget, emit) })
+		res.Result.Predictor = config + "/" + mode.String()
+		return res, nil
+	}
+
+	loc := c.DetachLocalHistory()
+	committed := loc.History()
+	window := hist.NewInflightWindow(delay+1, committed.Bits())
+	histMask := uint64(1)<<uint(committed.Bits()) - 1
+
+	// In forwarded mode the fetch engine performs ONE window search
+	// per fetched branch and feeds every local table from it; memoise
+	// per branch so the cost counters reflect hardware.
+	var memoPC, memoVal uint64
+	var memoGen, gen uint64
+	memoPC = ^uint64(0)
+	speculative := func(pc uint64) uint64 {
+		if pc == memoPC && memoGen == gen {
+			return memoVal
+		}
+		memoPC, memoGen = pc, gen
+		memoVal = window.Lookup(committed.Index(pc), committed.Get(pc))
+		return memoVal
+	}
+	if mode == LocalForwarded {
+		loc.SetSource(speculative)
+	}
+
+	var queue []pendingLocal
+	b.Generate(budget, func(r trace.Record) {
+		res.Records++
+		res.Instructions += r.Instructions()
+		if !r.Conditional() {
+			c.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
+			return
+		}
+		res.Conditionals++
+		pred := c.Predict(r.PC)
+		if pred != r.Taken {
+			res.Mispredicted++
+		}
+		c.Train(r.PC, r.Target, r.Taken)
+
+		// The resolved outcome becomes visible to later occurrences
+		// through the window (forwarded) and reaches the committed
+		// table delay branches later.
+		if mode == LocalForwarded {
+			h := speculative(r.PC)
+			window.Insert(hist.InflightEntry{
+				Index: committed.Index(r.PC),
+				Hist:  (h<<1 | takenBit(r.Taken)) & histMask,
+			})
+		}
+		queue = append(queue, pendingLocal{pc: r.PC, taken: r.Taken})
+		if len(queue) > delay {
+			oldest := queue[0]
+			queue = queue[1:]
+			loc.UpdateHistory(oldest.pc, oldest.taken)
+			if mode == LocalForwarded {
+				window.Retire(1)
+			}
+		}
+		gen++
+	})
+	res.Searches = window.Searches
+	res.Comparisons = window.Comparisons
+	if mode == LocalForwarded {
+		res.WindowBits = window.StorageBits()
+	}
+	return res, nil
+}
+
+func takenBit(taken bool) uint64 {
+	if taken {
+		return 1
+	}
+	return 0
+}

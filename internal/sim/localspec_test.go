@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestLocalModeString(t *testing.T) {
+	if LocalIdeal.String() != "ideal" || LocalCommitOnly.String() != "commit-only" ||
+		LocalForwarded.String() != "forwarded" || LocalMode(7).String() != "local?" {
+		t.Error("mode names wrong")
+	}
+}
+
+// TestForwardingIsExact is Figure 3 as an executable property: the
+// in-flight window forwarding reproduces the idealised immediate
+// update exactly — it just costs an associative search per fetch.
+func TestForwardingIsExact(t *testing.T) {
+	for _, name := range []string{"MM07", "SERVER01"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ideal, err := RunLocalSpec("tage-sc-l", LocalIdeal, 32, b, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd, err := RunLocalSpec("tage-sc-l", LocalForwarded, 32, b, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ideal.Mispredicted != fwd.Mispredicted {
+			t.Errorf("%s: forwarded (%d misp) != ideal (%d misp)",
+				name, fwd.Mispredicted, ideal.Mispredicted)
+		}
+		if fwd.Searches == 0 || fwd.WindowBits == 0 {
+			t.Errorf("%s: forwarding reported no search cost (searches=%d bits=%d)",
+				name, fwd.Searches, fwd.WindowBits)
+		}
+		// One search per conditional branch fetch plus none extra.
+		if fwd.Searches != fwd.Conditionals {
+			t.Errorf("%s: %d searches for %d conditionals (want exactly one per fetch)",
+				name, fwd.Searches, fwd.Conditionals)
+		}
+	}
+}
+
+// TestCommitOnlyHurts: without the window, stale local histories cost
+// accuracy on local-history-dependent workloads.
+func TestCommitOnlyHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	var idealMiss, staleMiss uint64
+	for _, name := range []string{"MM07", "WS04", "SERVER01", "MM02"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ideal, err := RunLocalSpec("tage-sc-l", LocalIdeal, 32, b, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale, err := RunLocalSpec("tage-sc-l", LocalCommitOnly, 32, b, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idealMiss += ideal.Mispredicted
+		staleMiss += stale.Mispredicted
+		if stale.Searches != 0 || stale.WindowBits != 0 {
+			t.Errorf("%s: commit-only mode reported window costs", name)
+		}
+	}
+	if staleMiss <= idealMiss {
+		t.Errorf("stale local history did not hurt: %d vs %d mispredictions", staleMiss, idealMiss)
+	}
+}
+
+func TestLocalSpecRejectsNonLocalConfig(t *testing.T) {
+	b, _ := workload.ByName("MM-1")
+	if _, err := RunLocalSpec("tage-gsc", LocalForwarded, 16, b, 100); err == nil {
+		t.Error("config without local history accepted")
+	}
+	if _, err := RunLocalSpec("bimodal", LocalForwarded, 16, b, 100); err == nil {
+		t.Error("non-composite accepted")
+	}
+	if _, err := RunLocalSpec("nope", LocalIdeal, 16, b, 100); err == nil {
+		t.Error("unknown config accepted")
+	}
+}

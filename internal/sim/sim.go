@@ -1,0 +1,172 @@
+// Package sim is the trace-driven branch prediction simulator: it
+// feeds branch records to a predictor and accumulates misprediction
+// statistics, reporting MPKI (mispredictions per kilo-instruction),
+// the paper's accuracy metric (§3). Like the paper's methodology it
+// assumes immediate updates; delayed-update effects are modelled
+// explicitly by dedicated configurations (e.g. the delayed IMLI
+// outer-history experiment).
+package sim
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Result is the outcome of simulating one predictor over one trace.
+type Result struct {
+	Trace        string
+	Predictor    string
+	Instructions uint64
+	Records      uint64
+	Conditionals uint64
+	Mispredicted uint64
+}
+
+// MPKI returns mispredictions per kilo-instruction.
+func (r Result) MPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Mispredicted) * 1000 / float64(r.Instructions)
+}
+
+// MispredictRate returns the fraction of conditional branches
+// mispredicted.
+func (r Result) MispredictRate() float64 {
+	if r.Conditionals == 0 {
+		return 0
+	}
+	return float64(r.Mispredicted) / float64(r.Conditionals)
+}
+
+// Feed runs the predictor over a stream of records delivered by gen
+// and returns the accumulated result. gen must call its argument once
+// per record, in program order.
+func Feed(p predictor.Predictor, name string, gen func(func(trace.Record))) Result {
+	res := Result{Trace: name, Predictor: p.Name()}
+	gen(func(r trace.Record) {
+		res.Records++
+		res.Instructions += r.Instructions()
+		if r.Conditional() {
+			res.Conditionals++
+			pred := p.Predict(r.PC)
+			if pred != r.Taken {
+				res.Mispredicted++
+			}
+			p.Train(r.PC, r.Target, r.Taken)
+		} else {
+			p.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
+		}
+	})
+	return res
+}
+
+// RunBenchmark simulates one predictor configuration (by registry
+// name) over one synthetic benchmark.
+func RunBenchmark(config string, b workload.Benchmark, budget int) (Result, error) {
+	p, err := predictor.New(config)
+	if err != nil {
+		return Result{}, err
+	}
+	return Feed(p, b.Name, func(emit func(trace.Record)) {
+		b.Generate(budget, emit)
+	}), nil
+}
+
+// RunReader simulates a predictor over an on-disk trace. A normal end
+// of trace (io.EOF) is not an error.
+func RunReader(p predictor.Predictor, r *trace.Reader) (Result, error) {
+	var feedErr error
+	res := Feed(p, r.Name(), func(emit func(trace.Record)) {
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				feedErr = err
+				return
+			}
+			emit(rec)
+		}
+	})
+	return res, feedErr
+}
+
+// SuiteRun holds per-benchmark results for one configuration over one
+// suite, in suite order.
+type SuiteRun struct {
+	Config  string
+	Suite   string
+	Results []Result
+}
+
+// AvgMPKI returns the arithmetic mean MPKI over the suite, the paper's
+// headline aggregate.
+func (s SuiteRun) AvgMPKI() float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range s.Results {
+		sum += r.MPKI()
+	}
+	return sum / float64(len(s.Results))
+}
+
+// ByTrace returns the result for the named trace.
+func (s SuiteRun) ByTrace(name string) (Result, bool) {
+	for _, r := range s.Results {
+		if r.Trace == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// RunSuite simulates one registry configuration over every benchmark
+// of the suite, in parallel across CPUs. A fresh predictor instance is
+// built per trace (the CBP methodology: traces are independent runs).
+func RunSuite(config, suite string, benches []workload.Benchmark, budget int) (SuiteRun, error) {
+	if _, err := predictor.New(config); err != nil {
+		return SuiteRun{}, err
+	}
+	builder := func() predictor.Predictor { return predictor.MustNew(config) }
+	return RunSuiteWith(builder, config, suite, benches, budget), nil
+}
+
+// RunSuiteWith is RunSuite for a custom predictor builder (used by
+// experiments whose configuration is not in the registry, such as the
+// delayed-update variant).
+func RunSuiteWith(builder func() predictor.Predictor, name, suite string, benches []workload.Benchmark, budget int) SuiteRun {
+	run := SuiteRun{Config: name, Suite: suite, Results: make([]Result, len(benches))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(benches) {
+		workers = len(benches)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				p := builder()
+				run.Results[i] = Feed(p, benches[i].Name, func(emit func(trace.Record)) {
+					benches[i].Generate(budget, emit)
+				})
+			}
+		}()
+	}
+	for i := range benches {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return run
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestResultMPKI(t *testing.T) {
+	r := Result{Instructions: 10000, Mispredicted: 25}
+	if got := r.MPKI(); got != 2.5 {
+		t.Errorf("MPKI = %v, want 2.5", got)
+	}
+	if (Result{}).MPKI() != 0 {
+		t.Error("empty result MPKI should be 0")
+	}
+}
+
+func TestResultMispredictRate(t *testing.T) {
+	r := Result{Conditionals: 200, Mispredicted: 50}
+	if got := r.MispredictRate(); got != 0.25 {
+		t.Errorf("rate = %v, want 0.25", got)
+	}
+	if (Result{}).MispredictRate() != 0 {
+		t.Error("empty result rate should be 0")
+	}
+}
+
+func TestFeedCounts(t *testing.T) {
+	p := predictor.MustNew("bimodal")
+	recs := []trace.Record{
+		{PC: 0x40, Target: 0x80, Kind: trace.CondDirect, Taken: true, InstrGap: 4},
+		{PC: 0x44, Target: 0x90, Kind: trace.Call, Taken: true, InstrGap: 2},
+		{PC: 0x48, Target: 0x20, Kind: trace.CondDirect, Taken: false, InstrGap: 3},
+	}
+	res := Feed(p, "t", func(emit func(trace.Record)) {
+		for _, r := range recs {
+			emit(r)
+		}
+	})
+	if res.Records != 3 || res.Conditionals != 2 {
+		t.Errorf("counts = %+v", res)
+	}
+	if res.Instructions != 5+3+4 {
+		t.Errorf("instructions = %d, want 12", res.Instructions)
+	}
+	if res.Trace != "t" || res.Predictor != "bimodal" {
+		t.Errorf("labels = %q %q", res.Trace, res.Predictor)
+	}
+}
+
+func TestRunBenchmarkUnknownConfig(t *testing.T) {
+	b, _ := workload.ByName("MM-4")
+	if _, err := RunBenchmark("nope", b, 100); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestRunSuiteDeterministicAndParallelSafe(t *testing.T) {
+	benches := workload.CBP4()[:6]
+	run1, err := RunSuite("bimodal", "cbp4", benches, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := RunSuite("bimodal", "cbp4", benches, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run1.Results) != 6 {
+		t.Fatalf("results = %d", len(run1.Results))
+	}
+	for i := range run1.Results {
+		if run1.Results[i] != run2.Results[i] {
+			t.Errorf("trace %s differs across identical parallel runs", run1.Results[i].Trace)
+		}
+	}
+	if run1.AvgMPKI() <= 0 {
+		t.Error("zero average MPKI")
+	}
+}
+
+func TestSuiteRunByTrace(t *testing.T) {
+	benches := workload.CBP4()[:3]
+	run, err := RunSuite("bimodal", "cbp4", benches, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := run.ByTrace(benches[1].Name); !ok {
+		t.Error("ByTrace missed an existing trace")
+	}
+	if _, ok := run.ByTrace("NOPE"); ok {
+		t.Error("ByTrace found a ghost")
+	}
+}
+
+func TestRunSuiteUnknownConfig(t *testing.T) {
+	if _, err := RunSuite("nope", "cbp4", workload.CBP4()[:1], 100); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestRunReaderRoundTrip(t *testing.T) {
+	// Write a benchmark to the binary format, read it back through
+	// the simulator, and check it matches the direct run.
+	b, err := workload.ByName("MM-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, b.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Generate(10000, func(r trace.Record) {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := RunBenchmark("gshare", b, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, err := RunReader(predictor.MustNew("gshare"), rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Mispredicted != fromDisk.Mispredicted || direct.Conditionals != fromDisk.Conditionals {
+		t.Errorf("disk run differs: direct=%+v disk=%+v", direct, fromDisk)
+	}
+}
+
+func TestIMLIBeatsBaseOnHardBenchmarks(t *testing.T) {
+	// The headline result at test scale: the IMLI configuration must
+	// beat the base on the wormhole/same-iteration benchmarks and
+	// stay within noise elsewhere.
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	const budget = 60000
+	hard := []string{"SPEC2K6-12", "CLIENT02", "MM07", "SPEC2K6-04", "WS04"}
+	for _, name := range hard {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := RunBenchmark("tage-gsc", b, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imli, err := RunBenchmark("tage-gsc+imli", b, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imli.MPKI() >= base.MPKI()*0.97 {
+			t.Errorf("%s: IMLI %.3f MPKI vs base %.3f — expected a clear win",
+				name, imli.MPKI(), base.MPKI())
+		}
+	}
+	easy := []string{"SPEC2K6-03", "SERVER-2"}
+	for _, name := range easy {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := RunBenchmark("tage-gsc", b, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imli, err := RunBenchmark("tage-gsc+imli", b, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imli.MPKI() > base.MPKI()*1.1+0.1 {
+			t.Errorf("%s: IMLI hurt an unrelated benchmark: %.3f vs %.3f",
+				name, imli.MPKI(), base.MPKI())
+		}
+	}
+}
+
+func TestWormholeHelpsOnlyWormholeBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	const budget = 60000
+	check := func(name string, expectWin bool) {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := RunBenchmark("tage-gsc", b, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wh, err := RunBenchmark("tage-gsc+wh", b, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		win := wh.MPKI() < base.MPKI()*0.95
+		if win != expectWin {
+			t.Errorf("%s: WH win=%v (%.3f vs %.3f), expected win=%v",
+				name, win, wh.MPKI(), base.MPKI(), expectWin)
+		}
+	}
+	check("SPEC2K6-12", true)  // constant-trip diagonal: WH target
+	check("SPEC2K6-04", false) // irregular trips: WH cannot track
+	check("WS04", false)       // irregular trips: WH cannot track
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SpecMode selects how the speculative pipeline model manages branch
+// history between prediction and resolution (§2.3 of the paper).
+type SpecMode uint8
+
+const (
+	// SpecImmediate updates histories with the resolved outcome only
+	// (the idealised trace-driven methodology; the reference).
+	SpecImmediate SpecMode = iota
+	// SpecCheckpointed updates histories speculatively with the
+	// predicted direction at fetch and repairs mispredictions by
+	// restoring the per-branch checkpoint (global history pointer,
+	// IMLI counter, PIPE vector) — the hardware scheme the paper
+	// advocates. Must be prediction-for-prediction identical to
+	// SpecImmediate.
+	SpecCheckpointed
+	// SpecUnrepaired updates histories speculatively but never repairs
+	// them after a misprediction — what a design without checkpointing
+	// would suffer. Quantifies why speculative history management
+	// matters (§2.3: "using incorrect histories ... is very likely to
+	// result in many branch mispredictions").
+	SpecUnrepaired
+)
+
+// String names the mode.
+func (m SpecMode) String() string {
+	switch m {
+	case SpecImmediate:
+		return "immediate"
+	case SpecCheckpointed:
+		return "checkpointed"
+	case SpecUnrepaired:
+		return "unrepaired"
+	default:
+		return "spec?"
+	}
+}
+
+// FeedSpeculative runs a composite predictor over a record stream
+// under the given speculative-history mode and returns accuracy
+// statistics. The predictor must be a *predictor.Composite (the
+// speculative hooks are composite-specific).
+func FeedSpeculative(c *predictor.Composite, mode SpecMode, name string, gen func(func(trace.Record))) Result {
+	res := Result{Trace: name, Predictor: c.Name() + "/" + mode.String()}
+	gen(func(r trace.Record) {
+		res.Records++
+		res.Instructions += r.Instructions()
+		if !r.Conditional() {
+			c.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
+			return
+		}
+		res.Conditionals++
+		pred := c.Predict(r.PC)
+		if pred != r.Taken {
+			res.Mispredicted++
+		}
+		switch mode {
+		case SpecImmediate:
+			c.Train(r.PC, r.Target, r.Taken)
+		case SpecCheckpointed:
+			c.TrainTables(r.PC, r.Target, r.Taken)
+			// Fetch side: checkpoint the speculative history state,
+			// then push the predicted direction.
+			ck := c.SpecCheckpoint()
+			c.SpecPush(r.PC, r.Target, pred)
+			if pred != r.Taken {
+				// Resolve: restore and redo with the actual outcome.
+				c.SpecRestore(ck)
+				c.SpecPush(r.PC, r.Target, r.Taken)
+			}
+		case SpecUnrepaired:
+			c.TrainTables(r.PC, r.Target, r.Taken)
+			c.SpecPush(r.PC, r.Target, pred) // wrong-path bit stays
+		}
+	})
+	return res
+}
+
+// RunSpecBenchmark runs one configuration over one benchmark under a
+// speculation mode.
+func RunSpecBenchmark(config string, mode SpecMode, b workload.Benchmark, budget int) (Result, error) {
+	p, err := predictor.New(config)
+	if err != nil {
+		return Result{}, err
+	}
+	comp, ok := p.(*predictor.Composite)
+	if !ok {
+		return Result{}, errNotComposite(config)
+	}
+	return FeedSpeculative(comp, mode, b.Name, func(emit func(trace.Record)) {
+		b.Generate(budget, emit)
+	}), nil
+}
+
+type errNotComposite string
+
+func (e errNotComposite) Error() string {
+	return "sim: configuration " + string(e) + " does not support speculative simulation"
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSpecModeString(t *testing.T) {
+	if SpecImmediate.String() != "immediate" ||
+		SpecCheckpointed.String() != "checkpointed" ||
+		SpecUnrepaired.String() != "unrepaired" {
+		t.Error("mode names wrong")
+	}
+	if SpecMode(9).String() != "spec?" {
+		t.Error("unknown mode name")
+	}
+}
+
+// TestCheckpointRepairIsExact is the core §2.3 claim as an executable
+// property: speculative history update with checkpoint repair must be
+// prediction-for-prediction identical to idealised immediate update.
+func TestCheckpointRepairIsExact(t *testing.T) {
+	for _, name := range []string{"SPEC2K6-12", "SPEC2K6-04", "MM-4"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imm, err := RunSpecBenchmark("tage-gsc+imli", SpecImmediate, b, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := RunSpecBenchmark("tage-gsc+imli", SpecCheckpointed, b, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imm.Mispredicted != ck.Mispredicted {
+			t.Errorf("%s: checkpointed speculation diverged from immediate: %d vs %d mispredictions",
+				name, ck.Mispredicted, imm.Mispredicted)
+		}
+	}
+}
+
+func TestUnrepairedSpeculationHurts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	// Without repair, wrong-path history bits corrupt the predictor
+	// noticeably (the paper's motivation for checkpointing).
+	var immTotal, badTotal uint64
+	for _, name := range []string{"SPEC2K6-12", "SPEC2K6-00", "CLIENT02"} {
+		b, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imm, err := RunSpecBenchmark("tage-gsc+imli", SpecImmediate, b, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad, err := RunSpecBenchmark("tage-gsc+imli", SpecUnrepaired, b, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		immTotal += imm.Mispredicted
+		badTotal += bad.Mispredicted
+	}
+	if badTotal <= immTotal {
+		t.Errorf("unrepaired speculation did not hurt: %d vs %d mispredictions", badTotal, immTotal)
+	}
+}
+
+func TestSpecRejectsNonComposite(t *testing.T) {
+	b, _ := workload.ByName("MM-1")
+	if _, err := RunSpecBenchmark("bimodal", SpecCheckpointed, b, 100); err == nil {
+		t.Error("non-composite accepted for speculative simulation")
+	}
+}
+
+func TestSpecUnknownConfig(t *testing.T) {
+	b, _ := workload.ByName("MM-1")
+	if _, err := RunSpecBenchmark("nope", SpecImmediate, b, 100); err == nil {
+		t.Error("unknown config accepted")
+	}
+}

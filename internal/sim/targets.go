@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"repro/internal/btb"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TargetResult summarises fetch-target prediction over a trace,
+// including how often the IMLI backward hint was available at fetch
+// (the fetch-time dependency of the paper's §4.1 heuristic).
+type TargetResult struct {
+	Trace string
+	// Branches is the number of control transfers observed.
+	Branches uint64
+	// TargetMisses counts taken transfers whose target the unit could
+	// not supply correctly at fetch.
+	TargetMisses uint64
+	// Stats is the per-structure breakdown.
+	Stats btb.Stats
+}
+
+// HintCoverage returns the fraction of conditional-branch fetches for
+// which the BTB could supply the backward bit the IMLI counter needs.
+func (r TargetResult) HintCoverage() float64 {
+	total := r.Stats.BackwardHints + r.Stats.ColdBranches
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stats.BackwardHints) / float64(total)
+}
+
+// TargetMissRate returns the fraction of taken transfers mispredicted.
+func (r TargetResult) TargetMissRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.TargetMisses) / float64(r.Branches)
+}
+
+// RunTargets drives a target-prediction unit over a benchmark and
+// returns accuracy statistics. It also verifies, per conditional
+// branch, whether the fetch engine had the backward hint the IMLI
+// mechanism consumes.
+func RunTargets(u *btb.Unit, b workload.Benchmark, budget int) TargetResult {
+	res := TargetResult{Trace: b.Name}
+	b.Generate(budget, func(r trace.Record) {
+		if r.Conditional() {
+			u.BackwardHint(r.PC)
+		}
+		if r.Taken {
+			res.Branches++
+			pred, ok := u.Predict(r.PC, r.Kind == trace.Return, r.Kind == trace.Indirect)
+			if !ok || pred != r.Target {
+				res.TargetMisses++
+			}
+		}
+		u.Update(r.PC, r.Target, r.Taken,
+			r.Kind == trace.Call, r.Kind == trace.Return, r.Kind == trace.Indirect)
+	})
+	res.Stats = u.Stats
+	return res
+}

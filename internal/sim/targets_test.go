@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/btb"
+	"repro/internal/workload"
+)
+
+func TestRunTargetsOnServerBenchmark(t *testing.T) {
+	b, err := workload.ByName("SERVER-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunTargets(btb.New(btb.DefaultConfig()), b, 30000)
+	if res.Branches == 0 {
+		t.Fatal("no taken transfers observed")
+	}
+	// Static targets dominate; after warmup the unit should cover the
+	// overwhelming majority of taken transfers.
+	if rate := res.TargetMissRate(); rate > 0.05 {
+		t.Errorf("target miss rate %.3f too high for mostly-static targets", rate)
+	}
+	// Returns must be predicted by the RAS (matched call/return).
+	if res.Stats.RASPops == 0 {
+		t.Fatal("no returns in a server benchmark")
+	}
+	if rasAcc := float64(res.Stats.RASCorrect) / float64(res.Stats.RASPops); rasAcc < 0.95 {
+		t.Errorf("RAS accuracy %.3f on matched call/returns", rasAcc)
+	}
+}
+
+func TestBackwardHintCoverage(t *testing.T) {
+	// The IMLI fetch-time dependency: after warmup the BTB supplies
+	// the backward bit for nearly every conditional fetch (the static
+	// branch set is small).
+	b, err := workload.ByName("SPEC2K6-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunTargets(btb.New(btb.DefaultConfig()), b, 30000)
+	if cov := res.HintCoverage(); cov < 0.95 {
+		t.Errorf("backward-hint coverage %.3f; IMLI needs the hint at fetch", cov)
+	}
+}
+
+func TestTargetResultZeroDivision(t *testing.T) {
+	var r TargetResult
+	if r.HintCoverage() != 0 || r.TargetMissRate() != 0 {
+		t.Error("zero-value result must not divide by zero")
+	}
+}

@@ -1,0 +1,153 @@
+// Package stats provides the aggregation and rendering helpers the
+// experiment harness uses: MPKI deltas, top-K selections and plain-text
+// tables shaped like the paper's tables and bar-chart figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Delta is the per-trace MPKI difference between a base configuration
+// and a variant (positive Reduction = variant is better).
+type Delta struct {
+	Trace     string
+	Base      float64
+	Variant   float64
+	Reduction float64 // Base - Variant, in MPKI
+}
+
+// Deltas pairs two result sets by trace name.
+func Deltas(traces []string, base, variant map[string]float64) []Delta {
+	out := make([]Delta, 0, len(traces))
+	for _, t := range traces {
+		b, v := base[t], variant[t]
+		out = append(out, Delta{Trace: t, Base: b, Variant: v, Reduction: b - v})
+	}
+	return out
+}
+
+// TopK returns the k deltas with the largest reductions, ordered by
+// reduction descending (the paper's "most benefitting benchmarks"
+// figures).
+func TopK(deltas []Delta, k int) []Delta {
+	sorted := append([]Delta(nil), deltas...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Reduction > sorted[j].Reduction
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// TopKByMagnitude returns the k deltas with the largest |reduction|
+// (the paper's "most affected benchmarks" figures, which include
+// degradations).
+func TopKByMagnitude(deltas []Delta, k int) []Delta {
+	sorted := append([]Delta(nil), deltas...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return abs(sorted[i].Reduction) > abs(sorted[j].Reduction)
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// PctChange returns the percentage change from base to variant
+// (negative = improvement).
+func PctChange(base, variant float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (variant - base) / base * 100
+}
+
+// Table renders rows as a fixed-width text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float for table cells.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// F2 formats a float with 2 decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Pct formats a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%+.1f%%", x) }
+
+// Bar renders a proportional ASCII bar for value v scaled so that max
+// maps to width runes — the text stand-in for the paper's bar charts.
+func Bar(v, max float64, width int) string {
+	if max <= 0 || v <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeltas(t *testing.T) {
+	base := map[string]float64{"a": 3.0, "b": 1.0}
+	variant := map[string]float64{"a": 2.0, "b": 1.5}
+	ds := Deltas([]string{"a", "b"}, base, variant)
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas", len(ds))
+	}
+	if ds[0].Reduction != 1.0 || ds[1].Reduction != -0.5 {
+		t.Errorf("reductions = %v, %v", ds[0].Reduction, ds[1].Reduction)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ds := []Delta{
+		{Trace: "a", Reduction: 0.1},
+		{Trace: "b", Reduction: 2.0},
+		{Trace: "c", Reduction: -3.0},
+		{Trace: "d", Reduction: 1.0},
+	}
+	top := TopK(ds, 2)
+	if top[0].Trace != "b" || top[1].Trace != "d" {
+		t.Errorf("TopK order wrong: %v", top)
+	}
+	if len(TopK(ds, 99)) != 4 {
+		t.Error("TopK did not clamp k")
+	}
+	// Input must not be mutated.
+	if ds[0].Trace != "a" {
+		t.Error("TopK mutated its input")
+	}
+}
+
+func TestTopKByMagnitude(t *testing.T) {
+	ds := []Delta{
+		{Trace: "a", Reduction: 0.1},
+		{Trace: "b", Reduction: 2.0},
+		{Trace: "c", Reduction: -3.0},
+	}
+	top := TopKByMagnitude(ds, 2)
+	if top[0].Trace != "c" || top[1].Trace != "b" {
+		t.Errorf("TopKByMagnitude order wrong: %v", top)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestPctChange(t *testing.T) {
+	if got := PctChange(2.0, 1.0); got != -50 {
+		t.Errorf("PctChange = %v, want -50", got)
+	}
+	if PctChange(0, 5) != 0 {
+		t.Error("zero base must not divide")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1.5")
+	tb.AddRow("b", "200.25")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator line: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "200.25") {
+		t.Errorf("row line: %q", lines[3])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if F2(1.23456) != "1.23" {
+		t.Errorf("F2 = %q", F2(1.23456))
+	}
+	if Pct(-5.67) != "-5.7%" {
+		t.Errorf("Pct = %q", Pct(-5.67))
+	}
+	if Pct(3.21) != "+3.2%" {
+		t.Errorf("Pct = %q", Pct(3.21))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(0, 10, 10) != "" {
+		t.Error("zero bar should be empty")
+	}
+	if Bar(20, 10, 10) != strings.Repeat("#", 10) {
+		t.Error("bar must clamp at width")
+	}
+	if Bar(5, 0, 10) != "" {
+		t.Error("zero max must not divide")
+	}
+}

@@ -1,0 +1,222 @@
+package tage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hist"
+)
+
+// harness wires a TAGE to its histories the way the composite
+// predictor does.
+type harness struct {
+	p    *Predictor
+	g    *hist.Global
+	path *hist.Path
+	fr   []*hist.Folded
+}
+
+func newHarness(cfg Config) *harness {
+	g := hist.NewGlobal(2048)
+	path := hist.NewPath(32)
+	p := New(cfg, g, path)
+	return &harness{p: p, g: g, path: path, fr: p.FoldedRegisters()}
+}
+
+func (h *harness) step(pc uint64, taken bool) bool {
+	pr := h.p.Predict(pc)
+	h.p.Update(pc, taken, pr)
+	h.g.Push(taken)
+	h.path.Push(pc)
+	for _, f := range h.fr {
+		f.Update(h.g)
+	}
+	return pr.Taken
+}
+
+func smallConfig() Config {
+	return Config{
+		NumTables: 6, MinHist: 2, MaxHist: 64,
+		LogEntries: []int{8}, TagBits: []int{9},
+		CtrBits: 3, UBits: 2, BimodalLog: 10, ResetPeriod: 1 << 18,
+	}
+}
+
+func TestGeometricLengths(t *testing.T) {
+	lens := geometricLengths(4, 640, 12)
+	if len(lens) != 12 {
+		t.Fatalf("got %d lengths", len(lens))
+	}
+	if lens[0] != 4 {
+		t.Errorf("first length = %d, want 4", lens[0])
+	}
+	if lens[11] != 640 {
+		t.Errorf("last length = %d, want 640", lens[11])
+	}
+	for i := 1; i < len(lens); i++ {
+		if lens[i] <= lens[i-1] {
+			t.Errorf("lengths not strictly increasing at %d: %v", i, lens)
+		}
+	}
+}
+
+func TestGeometricLengthsSingle(t *testing.T) {
+	lens := geometricLengths(4, 640, 1)
+	if len(lens) != 1 || lens[0] != 4 {
+		t.Errorf("single-table series = %v", lens)
+	}
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	h := newHarness(smallConfig())
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		if h.step(0x40, true) != true && i > 100 {
+			miss++
+		}
+	}
+	if miss > 5 {
+		t.Errorf("always-taken branch missed %d times after warmup", miss)
+	}
+}
+
+func TestLearnsShortPattern(t *testing.T) {
+	h := newHarness(smallConfig())
+	miss := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%3 == 0
+		if h.step(0x80, taken) != taken && i > 1000 {
+			miss++
+		}
+	}
+	if miss > 60 {
+		t.Errorf("period-3 pattern missed %d/3000 after warmup", miss)
+	}
+}
+
+func TestLearnsLongHistoryPattern(t *testing.T) {
+	// A pseudo-random but fixed periodic sequence of length 24: only
+	// history >= ~24 disambiguates the phase; bimodal and short tables
+	// cannot. TAGE's longer tables must capture it.
+	h := newHarness(smallConfig())
+	pattern := make([]bool, 24)
+	rng := rand.New(rand.NewSource(7))
+	for i := range pattern {
+		pattern[i] = rng.Intn(2) == 0
+	}
+	miss := 0
+	for i := 0; i < 12000; i++ {
+		taken := pattern[i%len(pattern)]
+		if h.step(0x100, taken) != taken && i > 6000 {
+			miss++
+		}
+	}
+	if rate := float64(miss) / 6000; rate > 0.10 {
+		t.Errorf("period-24 random pattern missed at rate %.3f after warmup", rate)
+	}
+}
+
+func TestBeatsBimodalOnCorrelation(t *testing.T) {
+	// Branch B repeats the previous outcome of branch A. TAGE must be
+	// near perfect; bimodal alone would be ~50%.
+	h := newHarness(smallConfig())
+	rng := rand.New(rand.NewSource(11))
+	var lastA bool
+	miss := 0
+	for i := 0; i < 8000; i++ {
+		a := rng.Intn(2) == 0
+		h.step(0x200, a)
+		if h.step(0x204, lastA) != lastA && i > 2000 {
+			miss++
+		}
+		lastA = a
+	}
+	if rate := float64(miss) / 6000; rate > 0.08 {
+		t.Errorf("1-bit correlation missed at rate %.3f", rate)
+	}
+}
+
+func TestConfidenceLevels(t *testing.T) {
+	h := newHarness(smallConfig())
+	for i := 0; i < 500; i++ {
+		h.step(0x300, true)
+	}
+	pr := h.p.Predict(0x300)
+	if pr.Conf != HighConf {
+		t.Errorf("saturated branch confidence = %d, want HighConf", pr.Conf)
+	}
+	h.p.Update(0x300, true, pr)
+}
+
+func TestStorageBitsBreakdown(t *testing.T) {
+	cfg := smallConfig()
+	p := New(cfg, hist.NewGlobal(256), hist.NewPath(16))
+	want := 1<<10*2 + 4 // bimodal + use_alt_on_na
+	for i := 0; i < cfg.NumTables; i++ {
+		want += 1 << 8 * (3 + 9 + 2)
+	}
+	if got := p.StorageBits(); got != want {
+		t.Errorf("StorageBits = %d, want %d", got, want)
+	}
+}
+
+func TestHistoryLengthsExposed(t *testing.T) {
+	p := New(smallConfig(), hist.NewGlobal(256), hist.NewPath(16))
+	lens := p.HistoryLengths()
+	if len(lens) != 6 || lens[0] != 2 || lens[5] != 64 {
+		t.Errorf("HistoryLengths = %v", lens)
+	}
+}
+
+func TestFoldedRegistersCount(t *testing.T) {
+	p := New(smallConfig(), hist.NewGlobal(256), hist.NewPath(16))
+	if got := len(p.FoldedRegisters()); got != 6*3 {
+		t.Errorf("folded registers = %d, want 18 (3 per table)", got)
+	}
+}
+
+func TestPanicsWithoutTables(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero tables accepted")
+		}
+	}()
+	New(Config{}, hist.NewGlobal(64), nil)
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() []bool {
+		h := newHarness(smallConfig())
+		rng := rand.New(rand.NewSource(5))
+		var out []bool
+		for i := 0; i < 3000; i++ {
+			pc := uint64(0x400 + (i%7)*4)
+			taken := rng.Intn(3) != 0
+			out = append(out, h.step(pc, taken))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d diverged between identical runs", i)
+		}
+	}
+}
+
+func TestAdaptsAfterBehaviorChange(t *testing.T) {
+	h := newHarness(smallConfig())
+	for i := 0; i < 3000; i++ {
+		h.step(0x500, true)
+	}
+	// Behaviour flips; TAGE must re-learn quickly.
+	miss := 0
+	for i := 0; i < 3000; i++ {
+		if h.step(0x500, false) != false && i > 500 {
+			miss++
+		}
+	}
+	if miss > 50 {
+		t.Errorf("did not adapt to flipped behaviour: %d misses", miss)
+	}
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The on-disk format is deliberately simple and compact:
+//
+//	header:  magic "IMLT" | version byte | name length varint | name bytes
+//	record:  flags byte | pc delta varint | target delta varint | gap byte
+//
+// Flags pack the kind (3 bits), the taken bit, and the signs of the PC
+// and target deltas. Deltas are relative to the previous record's PC,
+// which keeps typical records at 4-6 bytes.
+
+const (
+	magic         = "IMLT"
+	formatVersion = 1
+
+	flagTaken     = 1 << 3
+	flagPCNeg     = 1 << 4
+	flagTargetNeg = 1 << 5
+	kindMask      = 0x07
+)
+
+// ErrBadFormat is returned when a trace stream fails to parse.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Writer encodes records to an underlying stream.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes a trace header for the named trace and returns a
+// Writer. Call Flush when done.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return nil, err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(name)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	flags := byte(r.Kind) & kindMask
+	if r.Taken {
+		flags |= flagTaken
+	}
+	pcDelta := int64(r.PC - w.prevPC)
+	if pcDelta < 0 {
+		flags |= flagPCNeg
+		pcDelta = -pcDelta
+	}
+	targetDelta := int64(r.Target - r.PC)
+	if targetDelta < 0 {
+		flags |= flagTargetNeg
+		targetDelta = -targetDelta
+	}
+	if err := w.w.WriteByte(flags); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(w.buf[:], uint64(pcDelta))
+	n += binary.PutUvarint(w.buf[n:], uint64(targetDelta))
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte(r.InstrGap); err != nil {
+		return err
+	}
+	w.prevPC = r.PC
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes records from a stream produced by Writer.
+type Reader struct {
+	r      *bufio.Reader
+	name   string
+	prevPC uint64
+}
+
+// NewReader parses the trace header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head[:len(magic)])
+	}
+	if head[len(magic)] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, head[len(magic)])
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: name length: %v", ErrBadFormat, err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: absurd name length %d", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrBadFormat, err)
+	}
+	return &Reader{r: br, name: string(name)}, nil
+}
+
+// Name returns the trace name recorded in the header.
+func (r *Reader) Name() string { return r.name }
+
+// Read returns the next record, or io.EOF at end of trace.
+func (r *Reader) Read() (Record, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	kind := Kind(flags & kindMask)
+	if !kind.Valid() {
+		return Record{}, fmt.Errorf("%w: invalid kind %d", ErrBadFormat, flags&kindMask)
+	}
+	pcDelta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: pc delta: %v", ErrBadFormat, err)
+	}
+	targetDelta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: target delta: %v", ErrBadFormat, err)
+	}
+	gap, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: gap: %v", ErrBadFormat, err)
+	}
+	pc := r.prevPC + pcDelta
+	if flags&flagPCNeg != 0 {
+		pc = r.prevPC - pcDelta
+	}
+	target := pc + targetDelta
+	if flags&flagTargetNeg != 0 {
+		target = pc - targetDelta
+	}
+	r.prevPC = pc
+	return Record{
+		PC:       pc,
+		Target:   target,
+		Kind:     kind,
+		Taken:    flags&flagTaken != 0,
+		InstrGap: gap,
+	}, nil
+}
+
+// ReadAll drains the reader into a slice. Intended for tests and small
+// traces; the simulator streams instead.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,119 @@
+// Package trace defines the branch trace model used throughout the
+// repository: the per-branch Record, the Kind taxonomy, and a compact
+// binary on-disk format with a Reader and Writer.
+//
+// The model follows the CBP (Championship Branch Prediction) style the
+// paper's evaluation uses: a trace is the sequence of branch
+// instructions of a program run. Every record carries the number of
+// non-branch instructions that preceded it so MPKI (mispredictions per
+// kilo-instruction) can be computed.
+package trace
+
+import "fmt"
+
+// Kind classifies a branch instruction. Conditional branches are the
+// ones predictors predict; the other kinds still steer global path
+// history and the IMLI backward-branch heuristic.
+type Kind uint8
+
+const (
+	// CondDirect is a direct conditional branch (the predicted kind).
+	CondDirect Kind = iota
+	// UncondDirect is a direct unconditional jump.
+	UncondDirect
+	// Call is a direct call.
+	Call
+	// Return is a function return.
+	Return
+	// Indirect is an indirect jump or indirect call.
+	Indirect
+
+	numKinds
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case CondDirect:
+		return "cond"
+	case UncondDirect:
+		return "jump"
+	case Call:
+		return "call"
+	case Return:
+		return "ret"
+	case Indirect:
+		return "ind"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// Record is one dynamic branch instance.
+type Record struct {
+	// PC is the address of the branch instruction.
+	PC uint64
+	// Target is the (taken) target address. For conditional branches a
+	// Target below PC marks the branch as backward, which is what the
+	// IMLI counter heuristic keys on.
+	Target uint64
+	// Kind is the branch class.
+	Kind Kind
+	// Taken is the resolved direction. Always true for unconditional
+	// kinds.
+	Taken bool
+	// InstrGap is the number of non-branch instructions executed since
+	// the previous branch record (used for MPKI accounting). The branch
+	// itself counts as one additional instruction.
+	InstrGap uint8
+}
+
+// Backward reports whether the branch jumps to a lower address, the
+// heuristic the paper uses to recognise loop-closing branches ("we
+// consider that any backward conditional branch is a loop exit
+// branch").
+func (r Record) Backward() bool { return r.Target < r.PC }
+
+// Conditional reports whether the record is a conditional branch, i.e.
+// one that branch predictors must predict.
+func (r Record) Conditional() bool { return r.Kind == CondDirect }
+
+// Instructions returns the number of instructions this record accounts
+// for: its gap of non-branch instructions plus the branch itself.
+func (r Record) Instructions() uint64 { return uint64(r.InstrGap) + 1 }
+
+// Stats summarises a trace.
+type Stats struct {
+	Records      uint64 // total branch records
+	Conditionals uint64 // conditional branch records
+	Taken        uint64 // taken conditional branches
+	Backward     uint64 // backward conditional branches
+	Instructions uint64 // total instructions (branches + gaps)
+}
+
+// Add accumulates one record into the stats.
+func (s *Stats) Add(r Record) {
+	s.Records++
+	s.Instructions += r.Instructions()
+	if r.Conditional() {
+		s.Conditionals++
+		if r.Taken {
+			s.Taken++
+		}
+		if r.Backward() {
+			s.Backward++
+		}
+	}
+}
+
+// TakenRate returns the fraction of conditional branches that were
+// taken, or 0 for an empty trace.
+func (s Stats) TakenRate() float64 {
+	if s.Conditionals == 0 {
+		return 0
+	}
+	return float64(s.Taken) / float64(s.Conditionals)
+}

@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		CondDirect: "cond", UncondDirect: "jump", Call: "call",
+		Return: "ret", Indirect: "ind", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if !k.Valid() {
+			t.Errorf("Kind(%d) should be valid", k)
+		}
+	}
+	if Kind(numKinds).Valid() {
+		t.Error("out-of-range kind reported valid")
+	}
+}
+
+func TestRecordBackward(t *testing.T) {
+	fwd := Record{PC: 100, Target: 200}
+	back := Record{PC: 200, Target: 100}
+	if fwd.Backward() {
+		t.Error("forward branch reported backward")
+	}
+	if !back.Backward() {
+		t.Error("backward branch reported forward")
+	}
+}
+
+func TestRecordInstructions(t *testing.T) {
+	r := Record{InstrGap: 5}
+	if got := r.Instructions(); got != 6 {
+		t.Errorf("Instructions() = %d, want 6 (gap + branch)", got)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var s Stats
+	s.Add(Record{PC: 10, Target: 20, Kind: CondDirect, Taken: true, InstrGap: 4})
+	s.Add(Record{PC: 30, Target: 10, Kind: CondDirect, Taken: false, InstrGap: 2})
+	s.Add(Record{PC: 50, Target: 90, Kind: Call, Taken: true, InstrGap: 1})
+	if s.Records != 3 || s.Conditionals != 2 || s.Taken != 1 || s.Backward != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Instructions != 5+3+2 {
+		t.Errorf("instructions = %d, want 10", s.Instructions)
+	}
+	if got := s.TakenRate(); got != 0.5 {
+		t.Errorf("TakenRate = %v, want 0.5", got)
+	}
+}
+
+func TestTakenRateEmpty(t *testing.T) {
+	var s Stats
+	if s.TakenRate() != 0 {
+		t.Error("empty stats TakenRate should be 0")
+	}
+}
+
+func randomRecords(rng *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	pc := uint64(1 << 20)
+	for i := range recs {
+		pc += uint64(rng.Intn(64)) * 4
+		var target uint64
+		if rng.Intn(3) == 0 {
+			target = pc - uint64(rng.Intn(1<<12))
+		} else {
+			target = pc + uint64(rng.Intn(1<<12))
+		}
+		recs[i] = Record{
+			PC:       pc,
+			Target:   target,
+			Kind:     Kind(rng.Intn(int(numKinds))),
+			Taken:    rng.Intn(2) == 0,
+			InstrGap: uint8(rng.Intn(256)),
+		}
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := randomRecords(rng, 5000)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "test-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "test-trace" {
+		t.Errorf("name = %q", r.Name())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, int(n))
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "p")
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if w.Write(r) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := rd.ReadAll()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	_, err := NewReader(strings.NewReader("NOPE\x01\x00"))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderBadVersion(t *testing.T) {
+	_, err := NewReader(strings.NewReader("IMLT\x7f\x00"))
+	if err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestReaderShortHeader(t *testing.T) {
+	_, err := NewReader(strings.NewReader("IM"))
+	if err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestReaderEOFAtRecordBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{PC: 4, Target: 8, Kind: CondDirect, Taken: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("expected io.EOF at end, got %v", err)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{PC: 4, Target: 8, Kind: CondDirect, Taken: true, InstrGap: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final byte (the gap) off.
+	data := buf.Bytes()[:buf.Len()-1]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err == nil || err == io.EOF {
+		t.Errorf("truncated record not rejected: %v", err)
+	}
+}
+
+func TestWriterTargetDeltas(t *testing.T) {
+	// Backward and forward targets at extreme distances survive.
+	recs := []Record{
+		{PC: 1 << 40, Target: 1, Kind: CondDirect, Taken: true},
+		{PC: 8, Target: 1 << 50, Kind: UncondDirect, Taken: true},
+		{PC: 1 << 50, Target: 1<<50 - 4, Kind: CondDirect},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "far")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}

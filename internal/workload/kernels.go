@@ -1,0 +1,329 @@
+package workload
+
+import (
+	"repro/internal/num"
+	"repro/internal/trace"
+)
+
+// kernel is one branch-behaviour generator. Kernels keep persistent
+// state (patterns, matrices, phases) across episodes so predictors see
+// a continuous program, and emit one bounded episode per call.
+type kernel interface {
+	episode(e *emitter)
+}
+
+// ---------------------------------------------------------------------
+// nestKernel: the multidimensional-loop kernel instantiating Figure 1.
+// ---------------------------------------------------------------------
+
+// nestConfig selects which correlated branches a loop nest contains.
+type nestConfig struct {
+	// Outer is the outer-loop trip count per scan.
+	Outer int
+	// InnerMin/InnerMax bound the inner-loop trip count, drawn per
+	// outer iteration. Equal values give the constant trip count that
+	// the wormhole predictor and the loop predictor require.
+	InnerMin, InnerMax int
+	// PrevDiag adds a branch with Out[N][M] = A[N-M]: equal to its own
+	// outcome at (N-1, M-1), the wormhole-class correlation IMLI-OH
+	// targets (§4.3). Data is redrawn every scan. Requires constant
+	// trip counts to stay aligned.
+	PrevDiag bool
+	// SameIter adds a branch with Out[N][M] = S[M]: the same-iteration
+	// correlation IMLI-SIC targets (§4.2). S drifts slowly.
+	SameIter bool
+	// Inverted adds a branch with Out[N][M] = S2[M] xor parity(N),
+	// i.e. Out[N][M] = 1 - Out[N-1][M]: captured by IMLI-OH and WH but
+	// missed by IMLI-SIC (the paper's MM-4 case).
+	Inverted bool
+	// NestedCond adds a guard branch with outcome G[M] and, when the
+	// guard is taken, a nested branch with outcome S3[M] — the B4 case
+	// WH cannot track because the branch does not execute on every
+	// iteration, but IMLI-SIC can.
+	NestedCond bool
+	// NoisePerIter is the number of unpredictable 50/50 forward
+	// branches per inner iteration. They pollute the global history so
+	// the base predictors cannot exploit the in-scan repetition, and
+	// they set the benchmark's irreducible misprediction floor.
+	NoisePerIter int
+	// MutateProb is the per-scan per-bit drift of the S/G patterns.
+	MutateProb float64
+}
+
+type nestKernel struct {
+	cfg nestConfig
+	rng *num.Rand
+
+	diag     *bitvec // indexed by N-M (offset by InnerMax)
+	same     *bitvec
+	inverted *bitvec
+	guard    *bitvec
+	nested   *bitvec
+
+	sDiag, sSame, sInv, sGuard, sNested site
+	sNoise                              []site
+	sInnerBack, sOuterBack              site
+}
+
+func newNestKernel(cfg nestConfig, rng *num.Rand, alloc *siteAlloc) *nestKernel {
+	k := &nestKernel{cfg: cfg, rng: rng}
+	k.diag = newBitvec(rng, cfg.Outer+cfg.InnerMax+2)
+	k.same = newBitvec(rng, cfg.InnerMax+1)
+	k.inverted = newBitvec(rng, cfg.InnerMax+1)
+	k.guard = newBitvec(rng, cfg.InnerMax+1)
+	k.nested = newBitvec(rng, cfg.InnerMax+1)
+	k.sDiag = alloc.fwd()
+	k.sSame = alloc.fwd()
+	k.sInv = alloc.fwd()
+	k.sGuard = alloc.fwd()
+	k.sNested = alloc.fwd()
+	for i := 0; i < cfg.NoisePerIter; i++ {
+		k.sNoise = append(k.sNoise, alloc.fwd())
+	}
+	k.sInnerBack = alloc.back(512)
+	k.sOuterBack = alloc.back(4096)
+	return k
+}
+
+// episode emits one full scan of the nest.
+func (k *nestKernel) episode(e *emitter) {
+	cfg := k.cfg
+	for n := 0; n < cfg.Outer && e.more(); n++ {
+		inner := cfg.InnerMin
+		if cfg.InnerMax > cfg.InnerMin {
+			inner += k.rng.Intn(cfg.InnerMax - cfg.InnerMin + 1)
+		}
+		for m := 0; m < inner; m++ {
+			if cfg.PrevDiag {
+				e.cond(k.sDiag, k.diag.at(n-m+cfg.InnerMax))
+			}
+			if cfg.SameIter {
+				e.cond(k.sSame, k.same.at(m))
+			}
+			if cfg.Inverted {
+				e.cond(k.sInv, k.inverted.at(m) != (n&1 == 1))
+			}
+			if cfg.NestedCond {
+				g := k.guard.at(m)
+				e.cond(k.sGuard, g)
+				if g {
+					e.cond(k.sNested, k.nested.at(m))
+				}
+			}
+			for _, s := range k.sNoise {
+				e.cond(s, k.rng.Bool())
+			}
+			e.cond(k.sInnerBack, m < inner-1)
+		}
+		e.cond(k.sOuterBack, n < cfg.Outer-1)
+	}
+	// Fresh diagonal data each scan; slow drift of the per-iteration
+	// patterns so the same-iteration correlation persists.
+	k.diag.regenerate(k.rng)
+	k.same.mutate(k.rng, cfg.MutateProb)
+	k.inverted.mutate(k.rng, cfg.MutateProb)
+	k.guard.mutate(k.rng, cfg.MutateProb)
+	k.nested.mutate(k.rng, cfg.MutateProb)
+}
+
+// ---------------------------------------------------------------------
+// loopExitKernel: constant-trip loops whose exit only a loop predictor
+// or IMLI-SIC can catch (the body noise defeats history contexts).
+// ---------------------------------------------------------------------
+
+type loopExitKernel struct {
+	trip  int
+	reps  int
+	noise int
+	rng   *num.Rand
+
+	sNoise []site
+	sBack  site
+}
+
+func newLoopExitKernel(trip, reps, noise int, rng *num.Rand, alloc *siteAlloc) *loopExitKernel {
+	k := &loopExitKernel{trip: trip, reps: reps, noise: noise, rng: rng}
+	for i := 0; i < noise; i++ {
+		k.sNoise = append(k.sNoise, alloc.fwd())
+	}
+	k.sBack = alloc.back(256)
+	return k
+}
+
+func (k *loopExitKernel) episode(e *emitter) {
+	for r := 0; r < k.reps && e.more(); r++ {
+		for m := 0; m < k.trip; m++ {
+			for _, s := range k.sNoise {
+				e.cond(s, k.rng.Bool())
+			}
+			e.cond(k.sBack, m < k.trip-1)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// localKernel: branches with private periodic patterns of coprime
+// periods. Each is trivially predictable from its own (local) history
+// but the joint global sequence has an astronomically long period, so
+// global-history predictors see effectively novel contexts forever.
+// ---------------------------------------------------------------------
+
+type localKernel struct {
+	patterns []*bitvec
+	periods  []int
+	phases   []int
+	sites    []site
+	iters    int
+}
+
+func newLocalKernel(nBranches, iters int, rng *num.Rand, alloc *siteAlloc) *localKernel {
+	periods := []int{5, 7, 9, 11, 13, 4, 17, 19}
+	if nBranches > len(periods) {
+		nBranches = len(periods)
+	}
+	k := &localKernel{iters: iters}
+	for i := 0; i < nBranches; i++ {
+		k.periods = append(k.periods, periods[i])
+		k.patterns = append(k.patterns, newBitvec(rng, periods[i]))
+		k.phases = append(k.phases, 0)
+		k.sites = append(k.sites, alloc.fwd())
+	}
+	return k
+}
+
+func (k *localKernel) episode(e *emitter) {
+	for it := 0; it < k.iters && e.more(); it++ {
+		for j := range k.sites {
+			e.cond(k.sites[j], k.patterns[j].at(k.phases[j]))
+			k.phases[j] = (k.phases[j] + 1) % k.periods[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// easyKernel: short-period patterned branches — learnable by any
+// history predictor (but not bimodal), the predictable bulk of a
+// program.
+// ---------------------------------------------------------------------
+
+type easyKernel struct {
+	patterns []*bitvec
+	periods  []int
+	phases   []int
+	sites    []site
+	iters    int
+}
+
+func newEasyKernel(nBranches, iters int, rng *num.Rand, alloc *siteAlloc) *easyKernel {
+	periods := []int{2, 3, 4, 6, 2, 4, 3, 6}
+	if nBranches > len(periods) {
+		nBranches = len(periods)
+	}
+	k := &easyKernel{iters: iters}
+	for i := 0; i < nBranches; i++ {
+		k.periods = append(k.periods, periods[i])
+		k.patterns = append(k.patterns, newBitvec(rng, periods[i]))
+		k.phases = append(k.phases, 0)
+		k.sites = append(k.sites, alloc.fwd())
+	}
+	return k
+}
+
+func (k *easyKernel) episode(e *emitter) {
+	for it := 0; it < k.iters && e.more(); it++ {
+		for j := range k.sites {
+			e.cond(k.sites[j], k.patterns[j].at(k.phases[j]))
+			k.phases[j] = (k.phases[j] + 1) % k.periods[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// biasedKernel: branches with a fixed strong bias; the residual flip
+// rate is each benchmark's irreducible misprediction floor.
+// ---------------------------------------------------------------------
+
+type biasedKernel struct {
+	rng   *num.Rand
+	sites []site
+	bias  []float64
+	iters int
+}
+
+func newBiasedKernel(nBranches, iters int, flip float64, rng *num.Rand, alloc *siteAlloc) *biasedKernel {
+	k := &biasedKernel{rng: rng, iters: iters}
+	for i := 0; i < nBranches; i++ {
+		k.sites = append(k.sites, alloc.fwd())
+		// Bias per branch around the requested flip rate.
+		k.bias = append(k.bias, 1-flip*(0.5+float64(i)/float64(nBranches)))
+	}
+	return k
+}
+
+func (k *biasedKernel) episode(e *emitter) {
+	for it := 0; it < k.iters && e.more(); it++ {
+		for j, s := range k.sites {
+			e.cond(s, k.rng.Prob(k.bias[j]))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// callRetKernel: control-flow structure noise — calls, returns,
+// indirect jumps and easy conditionals, exercising the non-conditional
+// history paths.
+// ---------------------------------------------------------------------
+
+type callRetKernel struct {
+	rng *num.Rand
+	// Several call sites share one callee, so the return site's target
+	// varies per caller — the case a return address stack exists for.
+	sCalls     []site
+	sRet       site
+	sInd       site
+	sJmp       site
+	sConds     []site
+	biases     []float64
+	indTargets []uint64
+	indPhase   int
+	iters      int
+}
+
+func newCallRetKernel(iters int, rng *num.Rand, alloc *siteAlloc) *callRetKernel {
+	k := &callRetKernel{rng: rng, iters: iters}
+	for i := 0; i < 3; i++ {
+		k.sCalls = append(k.sCalls, alloc.jump(trace.Call))
+	}
+	k.sRet = alloc.jump(trace.Return)
+	k.sInd = alloc.jump(trace.Indirect)
+	k.sJmp = alloc.jump(trace.UncondDirect)
+	for i := 0; i < 3; i++ {
+		k.sConds = append(k.sConds, alloc.fwd())
+		k.biases = append(k.biases, 0.95)
+	}
+	// A polymorphic indirect branch cycling through a few targets (a
+	// vtable dispatch pattern, predictable from target history).
+	for i := 0; i < 4; i++ {
+		k.indTargets = append(k.indTargets, k.sInd.pc+0x1000+uint64(i)*0x40)
+	}
+	return k
+}
+
+func (k *callRetKernel) episode(e *emitter) {
+	for it := 0; it < k.iters && e.more(); it++ {
+		caller := k.sCalls[it%len(k.sCalls)]
+		e.other(caller)
+		for j, s := range k.sConds {
+			e.cond(s, k.rng.Prob(k.biases[j]))
+		}
+		if it%3 == 0 {
+			e.otherTo(k.sInd, k.indTargets[k.indPhase])
+			k.indPhase = (k.indPhase + 1) % len(k.indTargets)
+		}
+		if it%2 == 0 {
+			e.other(k.sJmp)
+		}
+		// The return jumps back to just after the caller's call site.
+		e.otherTo(k.sRet, caller.pc+4)
+	}
+}

@@ -1,0 +1,262 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/trace"
+)
+
+// capture runs one kernel in isolation and returns the records.
+func capture(k kernel, budget int) []trace.Record {
+	var recs []trace.Record
+	e := &emitter{sink: func(r trace.Record) { recs = append(recs, r) }, rng: num.NewRand(7), limit: budget}
+	for e.more() {
+		k.episode(e)
+	}
+	return recs
+}
+
+// outcomesAt collects the outcome sequence of one PC.
+func outcomesAt(recs []trace.Record, pc uint64) []bool {
+	var out []bool
+	for _, r := range recs {
+		if r.PC == pc {
+			out = append(out, r.Taken)
+		}
+	}
+	return out
+}
+
+func TestNestKernelDiagonalCorrelation(t *testing.T) {
+	// With constant trips and PrevDiag, Out[N][M] must equal
+	// Out[N-1][M-1] within a scan: occurrence i must equal occurrence
+	// i-(inner+1)... no — along the diagonal, occurrence (n,m) equals
+	// (n-1,m-1), which is inner+1 occurrences earlier.
+	cfg := nestConfig{Outer: 10, InnerMin: 12, InnerMax: 12, PrevDiag: true}
+	k := newNestKernel(cfg, num.NewRand(3), newSiteAlloc(0))
+	recs := capture(k, cfg.Outer*cfg.InnerMin*2+cfg.Outer+5)
+	seq := outcomesAt(recs, k.sDiag.pc)
+	inner := cfg.InnerMin
+	match, total := 0, 0
+	// Only compare within the first scan, skipping row boundaries.
+	for n := 1; n < cfg.Outer; n++ {
+		for m := 1; m < inner; m++ {
+			i := n*inner + m
+			j := (n-1)*inner + (m - 1)
+			if i < len(seq) && j >= 0 {
+				total++
+				if seq[i] == seq[j] {
+					match++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no pairs compared")
+	}
+	if rate := float64(match) / float64(total); rate < 0.999 {
+		t.Errorf("diagonal correlation rate %.4f, want 1.0 within a scan", rate)
+	}
+}
+
+func TestNestKernelSameIterationPersistence(t *testing.T) {
+	cfg := nestConfig{Outer: 10, InnerMin: 12, InnerMax: 12, SameIter: true, MutateProb: 0.02}
+	k := newNestKernel(cfg, num.NewRand(3), newSiteAlloc(0))
+	recs := capture(k, cfg.Outer*cfg.InnerMin*3)
+	seq := outcomesAt(recs, k.sSame.pc)
+	inner := cfg.InnerMin
+	match, total := 0, 0
+	for i := inner; i < len(seq); i++ {
+		total++
+		if seq[i] == seq[i-inner] {
+			match++
+		}
+	}
+	// S mutates at 2% per scan, so Out[N][M] ≈ Out[N-1][M] nearly
+	// always.
+	if rate := float64(match) / float64(total); rate < 0.95 {
+		t.Errorf("same-iteration persistence %.4f, want >= 0.95", rate)
+	}
+}
+
+func TestNestKernelInvertedCorrelation(t *testing.T) {
+	cfg := nestConfig{Outer: 10, InnerMin: 8, InnerMax: 8, Inverted: true, MutateProb: 0}
+	k := newNestKernel(cfg, num.NewRand(3), newSiteAlloc(0))
+	recs := capture(k, cfg.Outer*cfg.InnerMin*2)
+	seq := outcomesAt(recs, k.sInv.pc)
+	inner := cfg.InnerMin
+	// Within a scan, Out[N][M] = !Out[N-1][M].
+	for i := inner; i < cfg.Outer*inner && i < len(seq); i++ {
+		if seq[i] == seq[i-inner] {
+			t.Fatalf("occurrence %d not inverted from previous outer iteration", i)
+		}
+	}
+}
+
+func TestNestKernelIrregularTrips(t *testing.T) {
+	cfg := nestConfig{Outer: 60, InnerMin: 8, InnerMax: 16, SameIter: true}
+	k := newNestKernel(cfg, num.NewRand(3), newSiteAlloc(0))
+	recs := capture(k, 4000)
+	// Reconstruct trip counts from the backward branch outcomes.
+	var trips []int
+	cur := 0
+	for _, r := range recs {
+		if r.PC != k.sInnerBack.pc {
+			continue
+		}
+		cur++
+		if !r.Taken {
+			trips = append(trips, cur)
+			cur = 0
+		}
+	}
+	if len(trips) < 20 {
+		t.Fatalf("only %d complete inner loops", len(trips))
+	}
+	seen := map[int]bool{}
+	for _, tr := range trips {
+		if tr < cfg.InnerMin || tr > cfg.InnerMax {
+			t.Fatalf("trip count %d outside [%d,%d]", tr, cfg.InnerMin, cfg.InnerMax)
+		}
+		seen[tr] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("trip counts not varying: %v", trips[:10])
+	}
+}
+
+func TestNestKernelNestedCondOnlyUnderGuard(t *testing.T) {
+	cfg := nestConfig{Outer: 6, InnerMin: 10, InnerMax: 10, NestedCond: true}
+	k := newNestKernel(cfg, num.NewRand(3), newSiteAlloc(0))
+	recs := capture(k, 500)
+	// Every nested-branch record must immediately follow a taken guard.
+	for i, r := range recs {
+		if r.PC != k.sNested.pc {
+			continue
+		}
+		if i == 0 || recs[i-1].PC != k.sGuard.pc || !recs[i-1].Taken {
+			t.Fatalf("nested branch at %d not preceded by a taken guard", i)
+		}
+	}
+	// And the nested branch must execute strictly less often than the
+	// guard (it is skipped when the guard falls through).
+	guard := len(outcomesAt(recs, k.sGuard.pc))
+	nested := len(outcomesAt(recs, k.sNested.pc))
+	if nested == 0 || nested >= guard {
+		t.Errorf("nested/guard executions = %d/%d", nested, guard)
+	}
+}
+
+func TestNestKernelBackwardBranches(t *testing.T) {
+	cfg := nestConfig{Outer: 4, InnerMin: 6, InnerMax: 6, SameIter: true}
+	k := newNestKernel(cfg, num.NewRand(3), newSiteAlloc(0))
+	if !(trace.Record{PC: k.sInnerBack.pc, Target: k.sInnerBack.target}).Backward() {
+		t.Error("inner loop branch not backward")
+	}
+	if !(trace.Record{PC: k.sOuterBack.pc, Target: k.sOuterBack.target}).Backward() {
+		t.Error("outer loop branch not backward")
+	}
+}
+
+func TestLoopExitKernelConstantTrips(t *testing.T) {
+	k := newLoopExitKernel(15, 8, 1, num.NewRand(5), newSiteAlloc(0))
+	recs := capture(k, 2000)
+	cur := 0
+	for _, r := range recs {
+		if r.PC != k.sBack.pc {
+			continue
+		}
+		cur++
+		if !r.Taken {
+			if cur != 15 {
+				t.Fatalf("trip count %d, want constant 15", cur)
+			}
+			cur = 0
+		}
+	}
+}
+
+func TestLocalKernelPeriodicity(t *testing.T) {
+	k := newLocalKernel(4, 50, num.NewRand(5), newSiteAlloc(0))
+	recs := capture(k, 2000)
+	for j, s := range k.sites {
+		seq := outcomesAt(recs, s.pc)
+		p := k.periods[j]
+		for i := p; i < len(seq); i++ {
+			if seq[i] != seq[i-p] {
+				t.Fatalf("branch %d not periodic with period %d at %d", j, p, i)
+			}
+		}
+	}
+}
+
+func TestEasyKernelShortPeriods(t *testing.T) {
+	k := newEasyKernel(4, 50, num.NewRand(5), newSiteAlloc(0))
+	for _, p := range k.periods {
+		if p > 6 {
+			t.Errorf("easy kernel period %d too long", p)
+		}
+	}
+}
+
+func TestBiasedKernelBias(t *testing.T) {
+	k := newBiasedKernel(2, 100, 0.05, num.NewRand(5), newSiteAlloc(0))
+	recs := capture(k, 20000)
+	for _, s := range k.sites {
+		seq := outcomesAt(recs, s.pc)
+		taken := 0
+		for _, b := range seq {
+			if b {
+				taken++
+			}
+		}
+		rate := float64(taken) / float64(len(seq))
+		if rate < 0.85 {
+			t.Errorf("biased branch taken rate %.3f, want strongly biased", rate)
+		}
+	}
+}
+
+func TestCallRetKernelKinds(t *testing.T) {
+	k := newCallRetKernel(30, num.NewRand(5), newSiteAlloc(0))
+	recs := capture(k, 500)
+	kinds := map[trace.Kind]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+	}
+	for _, want := range []trace.Kind{trace.Call, trace.Return, trace.Indirect, trace.UncondDirect, trace.CondDirect} {
+		if kinds[want] == 0 {
+			t.Errorf("kind %s missing from call/ret kernel", want)
+		}
+	}
+}
+
+func TestSiteAllocDistinctOHSlots(t *testing.T) {
+	// Sites allocated consecutively must land in distinct IMLI-OH
+	// branch slots ((pc>>2) & 15) for at least the first 16 sites.
+	a := newSiteAlloc(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		s := a.fwd()
+		slot := (s.pc >> 2) & 15
+		if seen[slot] {
+			t.Fatalf("site %d reuses OH slot %d", i, slot)
+		}
+		seen[slot] = true
+	}
+}
+
+func TestEmitterGapRange(t *testing.T) {
+	var recs []trace.Record
+	e := &emitter{sink: func(r trace.Record) { recs = append(recs, r) }, rng: num.NewRand(1), limit: 1000}
+	s := site{pc: 100, target: 200, kind: trace.CondDirect}
+	for e.more() {
+		e.cond(s, true)
+	}
+	for _, r := range recs {
+		if r.InstrGap < 3 || r.InstrGap > 9 {
+			t.Fatalf("instruction gap %d outside [3,9]", r.InstrGap)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package wormhole
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestHistPushProperty checks the bit-vector history against a plain
+// slice reference model for arbitrary outcome sequences.
+func TestHistPushProperty(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		e := entry{hist: make([]uint64, 4)} // 256 bits
+		var ref []bool
+		for _, o := range outcomes {
+			e.pushHist(o)
+			ref = append(ref, o)
+		}
+		limit := len(ref)
+		if limit > 256 {
+			limit = 256
+		}
+		for k := 1; k <= limit; k++ {
+			want := uint64(0)
+			if ref[len(ref)-k] {
+				want = 1
+			}
+			if e.histBit(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package wormhole implements the wormhole (WH) predictor of Albericio
+// et al. (MICRO 2014), the baseline the paper's IMLI-OH component is
+// measured against (§2.2.2, Figure 2). WH is a small tagged side
+// predictor for hard-to-predict branches encapsulated in regular
+// multidimensional loops: it records a long per-entry local history
+// and, knowing the inner loop's constant trip count Ni from the loop
+// predictor, retrieves the outcomes of the same branch in neighbouring
+// inner iterations of the previous outer iteration (bits Ni-1, Ni,
+// Ni+1 of the history) to index a small array of saturating counters.
+//
+// The paper's critique — which this implementation makes concrete — is
+// that WH only works for loops with constant trip counts, only for
+// branches executed on every inner iteration, and carries very long
+// speculative local histories per entry.
+package wormhole
+
+import (
+	"repro/internal/loop"
+	"repro/internal/num"
+)
+
+// Config sizes a wormhole predictor.
+type Config struct {
+	// Entries is the number of tagged entries (paper: 7).
+	Entries int
+	// HistBits is the per-entry local history length; the predictor
+	// can only handle inner loops with trip count < HistBits.
+	HistBits int
+	// CtrBits is the satellite counter width.
+	CtrBits int
+	// ConfThreshold is the minimum |centered counter| for the WH
+	// prediction to subsume the main prediction (high confidence only).
+	ConfThreshold int
+}
+
+// DefaultConfig matches the CBP4-optimised design the paper cites.
+func DefaultConfig() Config {
+	return Config{Entries: 7, HistBits: 256, CtrBits: 5, ConfThreshold: 9}
+}
+
+const histWordBits = 64
+
+type entry struct {
+	valid bool
+	tag   uint64
+	hist  []uint64 // bit 0 of word 0 = most recent outcome
+	ctrs  [8]int8
+	age   uint8
+}
+
+func (e *entry) pushHist(taken bool) {
+	carry := uint64(0)
+	if taken {
+		carry = 1
+	}
+	for i := range e.hist {
+		next := e.hist[i] >> (histWordBits - 1)
+		e.hist[i] = e.hist[i]<<1 | carry
+		carry = next
+	}
+}
+
+// histBit returns outcome bit k occurrences ago (k=1 is the most
+// recent occurrence).
+func (e *entry) histBit(k int) uint64 {
+	k--
+	return (e.hist[k/histWordBits] >> uint(k%histWordBits)) & 1
+}
+
+// Predictor is a wormhole side predictor. It consumes the inner-loop
+// trip count tracked by the shared loop predictor.
+type Predictor struct {
+	cfg     Config
+	entries []entry
+	lp      *loop.Predictor
+	rng     *num.Rand
+
+	// state between Predict and Update
+	lastEntry int
+	lastIdx   int
+	lastUse   bool
+	lastPred  bool
+}
+
+// New returns a wormhole predictor using lp for trip counts.
+func New(cfg Config, lp *loop.Predictor) *Predictor {
+	if cfg.Entries <= 0 {
+		cfg = DefaultConfig()
+	}
+	p := &Predictor{cfg: cfg, lp: lp, rng: num.NewRand(0x3503e5)}
+	p.entries = make([]entry, cfg.Entries)
+	for i := range p.entries {
+		p.entries[i].hist = make([]uint64, (cfg.HistBits+histWordBits-1)/histWordBits)
+	}
+	return p
+}
+
+func (p *Predictor) find(pc uint64) int {
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].tag == pc {
+			return i
+		}
+	}
+	return -1
+}
+
+// usable reports whether the current inner loop allows WH retrieval
+// and returns the trip count.
+func (p *Predictor) usable() (int, bool) {
+	ni, conf := p.lp.CurrentLoop()
+	if !conf || ni < 2 || ni+1 >= p.cfg.HistBits {
+		return 0, false
+	}
+	return ni, true
+}
+
+// Predict returns (direction, use). use is true only when the entry's
+// indexed counter is confident; otherwise the main prediction stands.
+func (p *Predictor) Predict(pc uint64) (bool, bool) {
+	p.lastEntry = p.find(pc)
+	p.lastUse = false
+	if p.lastEntry < 0 {
+		return false, false
+	}
+	ni, ok := p.usable()
+	if !ok {
+		return false, false
+	}
+	e := &p.entries[p.lastEntry]
+	// Out[N-1][M+1], Out[N-1][M], Out[N-1][M-1] are the outcomes
+	// Ni-1, Ni and Ni+1 occurrences ago.
+	idx := int(e.histBit(ni-1)<<2 | e.histBit(ni)<<1 | e.histBit(ni+1))
+	p.lastIdx = idx
+	c := num.Centered(e.ctrs[idx])
+	mag := c
+	if mag < 0 {
+		mag = -mag
+	}
+	p.lastPred = c >= 0
+	p.lastUse = mag >= p.cfg.ConfThreshold
+	return p.lastPred, p.lastUse
+}
+
+// Update trains the predictor with the resolved outcome of pc. Must
+// follow Predict for the same pc. mainMispredicted gates allocation;
+// backward reports whether the branch is itself a loop-closing branch
+// (those are never allocated — WH targets branches inside the loop).
+func (p *Predictor) Update(pc uint64, taken, mainMispredicted, backward bool) {
+	if p.lastEntry >= 0 {
+		e := &p.entries[p.lastEntry]
+		if _, ok := p.usable(); ok {
+			// Train the indexed satellite counter (recompute is not
+			// needed: history has not shifted since Predict).
+			e.ctrs[p.lastIdx] = num.SatUpdate(e.ctrs[p.lastIdx], taken, p.cfg.CtrBits)
+			if p.lastUse {
+				if p.lastPred == taken {
+					if e.age < 255 {
+						e.age++
+					}
+				} else if e.age > 0 {
+					e.age--
+				}
+			}
+		}
+		e.pushHist(taken)
+		return
+	}
+	if !mainMispredicted || backward {
+		return
+	}
+	if _, ok := p.usable(); !ok {
+		return
+	}
+	if p.rng.Intn(4) != 0 {
+		return
+	}
+	p.allocate(pc, taken)
+}
+
+func (p *Predictor) allocate(pc uint64, taken bool) {
+	victim := -1
+	var minAge uint8 = 255
+	for i := range p.entries {
+		if !p.entries[i].valid {
+			victim = i
+			break
+		}
+		if p.entries[i].age <= minAge {
+			minAge = p.entries[i].age
+			victim = i
+		}
+	}
+	e := &p.entries[victim]
+	e.valid = true
+	e.tag = pc
+	for i := range e.hist {
+		e.hist[i] = 0
+	}
+	e.ctrs = [8]int8{}
+	e.age = 8
+	e.pushHist(taken)
+}
+
+// StorageBits returns the predictor storage cost: per entry a tag,
+// the long local history, the satellite counters and an age field.
+// The dominating history term is the hardware cost the paper holds
+// against WH.
+func (p *Predictor) StorageBits() int {
+	perEntry := 16 + p.cfg.HistBits + 8*p.cfg.CtrBits + 8 + 1
+	return p.cfg.Entries * perEntry
+}
+
+// SpeculativeHistBits returns the speculative local-history bits each
+// in-flight occurrence must carry (§2.3.2: WH speculation is as hard
+// as local-history speculation, but with much longer histories).
+func (p *Predictor) SpeculativeHistBits() int { return p.cfg.Entries * p.cfg.HistBits }
