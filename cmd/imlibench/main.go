@@ -1,17 +1,23 @@
 // Command imlibench regenerates the tables and figures of the paper's
 // evaluation. Each experiment prints the same rows/series the paper
 // reports, preceded by the paper's own numbers for comparison.
+// Simulation goes through the sharded parallel engine; with
+// -cache-dir, re-running after an interruption (or with overlapping
+// experiment selections) only simulates what is missing.
 //
 // Usage:
 //
 //	imlibench -exp=all                 # every experiment, full size
 //	imlibench -exp=fig8 -branches=100000
+//	imlibench -exp=all -shards=4 -cache-dir=.imli-cache
 //	imlibench -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,22 +26,44 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
-	branches := flag.Int("branches", 250000, "branch records generated per trace")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	quiet := flag.Bool("q", false, "suppress per-suite progress lines")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "imlibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("imlibench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+	branches := fs.Int("branches", 250000, "branch records generated per trace")
+	parallel := fs.Int("parallel", 0, "max concurrent shard simulations (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "shards per benchmark")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	quiet := fs.Bool("q", false, "suppress per-suite progress lines")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
-	params := experiments.Params{Budget: *branches}
+	params := experiments.Params{
+		Budget:   *branches,
+		Parallel: *parallel,
+		Shards:   *shards,
+		CacheDir: *cacheDir,
+	}
 	if !*quiet {
-		params.Progress = os.Stderr
+		params.Progress = stderr
 	}
 	runner := experiments.NewRunner(params)
 
@@ -46,8 +74,7 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			toRun = append(toRun, e)
 		}
@@ -56,7 +83,11 @@ func main() {
 	for _, e := range toRun {
 		start := time.Now()
 		rep := e.Run(runner)
-		fmt.Printf("==== %s — %s ====\n\n%s\n(%.1fs)\n\n",
+		fmt.Fprintf(stdout, "==== %s — %s ====\n\n%s\n(%.1fs)\n\n",
 			rep.ID, e.Title, rep.Text, time.Since(start).Seconds())
 	}
+	if st := runner.EngineStats(); st.CacheHits > 0 && !*quiet {
+		fmt.Fprintf(stderr, "engine: %d shards simulated, %d served from cache\n", st.Simulated, st.CacheHits)
+	}
+	return nil
 }

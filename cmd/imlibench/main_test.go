@@ -1,0 +1,36 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunStorageExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp=storage", "-branches=1000", "-q"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "==== storage") || !strings.Contains(out.String(), "IMLI-SIC table") {
+		t.Errorf("report missing expected sections:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig8", "table1", "storage", "record"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("experiment list missing %q", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp=nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -19,40 +21,55 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "traces", "output directory")
-	suite := flag.String("suite", "", "restrict to one suite: cbp4 or cbp3")
-	bench := flag.String("bench", "", "restrict to one benchmark name")
-	branches := flag.Int("branches", 250000, "branch records per trace")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "imligen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("imligen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "traces", "output directory")
+	suite := fs.String("suite", "", "restrict to one suite: cbp4 or cbp3")
+	bench := fs.String("bench", "", "restrict to one benchmark name")
+	branches := fs.Int("branches", 250000, "branch records per trace")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	var benches []workload.Benchmark
 	switch {
 	case *bench != "":
 		b, err := workload.ByName(*bench)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		benches = []workload.Benchmark{b}
 	case *suite != "":
 		var ok bool
 		benches, ok = workload.Suites()[*suite]
 		if !ok {
-			fatal(fmt.Errorf("unknown suite %q", *suite))
+			return fmt.Errorf("unknown suite %q", *suite)
 		}
 	default:
 		benches = workload.All()
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	for _, b := range benches {
 		path := filepath.Join(*out, b.Name+".imlt")
 		if err := writeTrace(path, b, *branches); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s (%d branches)\n", path, *branches)
+		fmt.Fprintf(stdout, "wrote %s (%d branches)\n", path, *branches)
 	}
+	return nil
 }
 
 func writeTrace(path string, b workload.Benchmark, branches int) error {
@@ -80,9 +97,4 @@ func writeTrace(path string, b workload.Benchmark, branches int) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "imligen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunWritesParseableTrace(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-out=" + dir, "-bench=MM-4", "-branches=500"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("no confirmation line: %q", out.String())
+	}
+	f, err := os.Open(filepath.Join(dir, "MM-4.imlt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "MM-4" {
+		t.Errorf("trace name = %q", r.Name())
+	}
+	n := 0
+	for {
+		if _, err := r.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n < 500 {
+		t.Errorf("trace has %d records, want >= 500", n)
+	}
+}
+
+func TestRunUnknownInputs(t *testing.T) {
+	if err := run([]string{"-bench=NOPE"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-suite=nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRendersMarkdown(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "EXPERIMENTS.md")
+	var stdout strings.Builder
+	err := run([]string{"-out=" + out, "-exp=storage", "-branches=1000", "-q"}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"## storage —",
+		"```text",
+		"| metric | value |",
+		"`imli.bytes`",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+	if !strings.Contains(stdout.String(), "wrote") {
+		t.Errorf("no confirmation: %q", stdout.String())
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var stdout strings.Builder
+	err := run([]string{"-out=-", "-exp=storage", "-branches=1000", "-q"}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "## storage —") {
+		t.Error("stdout mode did not render the document")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp=nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,17 +1,24 @@
-// Command imlisim runs one predictor configuration over synthetic
-// benchmarks or on-disk traces and reports MPKI.
+// Command imlisim runs predictor configurations over synthetic
+// benchmarks or on-disk traces and reports MPKI. Suite runs go through
+// the sharded parallel engine: -parallel bounds the worker pool,
+// -shards splits each benchmark into independent work items, and
+// -cache-dir makes repeated runs incremental via the on-disk result
+// store.
 //
 // Usage:
 //
 //	imlisim -predictor=tage-gsc+imli -suite=cbp4
 //	imlisim -predictor=gehl -bench=SPEC2K6-12 -branches=500000
 //	imlisim -predictor=tage-gsc -trace=out/SPEC2K6-12.imlt
+//	imlisim -suite=cbp4 -all-configs -shards=4 -cache-dir=.imli-cache
 //	imlisim -predictors            # list configurations
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -23,15 +30,33 @@ import (
 )
 
 func main() {
-	config := flag.String("predictor", "tage-gsc+imli", "predictor configuration name")
-	suite := flag.String("suite", "", "run a whole suite: cbp4 or cbp3")
-	bench := flag.String("bench", "", "run a single synthetic benchmark by name")
-	traceFile := flag.String("trace", "", "run an on-disk trace file")
-	branches := flag.Int("branches", 250000, "branch records per synthetic trace")
-	listPredictors := flag.Bool("predictors", false, "list predictor configurations and exit")
-	listBenches := flag.Bool("benchmarks", false, "list benchmark names and exit")
-	targets := flag.Bool("targets", false, "also report fetch-target prediction (BTB/RAS/indirect) for -bench")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "imlisim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("imlisim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	config := fs.String("predictor", "tage-gsc+imli", "predictor configuration name")
+	suite := fs.String("suite", "", "run a whole suite: cbp4 or cbp3")
+	bench := fs.String("bench", "", "run a single synthetic benchmark by name")
+	traceFile := fs.String("trace", "", "run an on-disk trace file")
+	branches := fs.Int("branches", 250000, "branch records per synthetic trace")
+	parallel := fs.Int("parallel", 0, "max concurrent shard simulations for suite/batch runs (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "shards per benchmark (suite/batch runs)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (suite/batch runs)")
+	allConfigs := fs.Bool("all-configs", false, "batch mode: run every registry configuration over -suite or -bench")
+	listPredictors := fs.Bool("predictors", false, "list predictor configurations and exit")
+	listBenches := fs.Bool("benchmarks", false, "list benchmark names and exit")
+	targets := fs.Bool("targets", false, "also report fetch-target prediction (BTB/RAS/indirect) for -bench")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	switch {
 	case *listPredictors:
@@ -39,78 +64,142 @@ func main() {
 		sort.Strings(names)
 		for _, n := range names {
 			p := predictor.MustNew(n)
-			fmt.Printf("%-22s %6d Kbits\n", n, p.StorageBits()/1024)
+			fmt.Fprintf(stdout, "%-22s %6d Kbits\n", n, p.StorageBits()/1024)
 		}
+		return nil
 	case *listBenches:
 		for _, n := range workload.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
+		return nil
+	case *allConfigs:
+		if *traceFile != "" {
+			return fmt.Errorf("-all-configs works on -suite or -bench, not -trace")
+		}
+		engine := sim.NewEngine(sim.EngineConfig{Workers: *parallel, Shards: *shards, CacheDir: *cacheDir})
+		return runAllConfigs(stdout, engine, *suite, *bench, *branches)
 	case *traceFile != "":
-		runTraceFile(*config, *traceFile)
+		return runTraceFile(stdout, *config, *traceFile)
 	case *bench != "":
 		b, err := workload.ByName(*bench)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		res, err := sim.RunBenchmark(*config, b, *branches)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		printResult(res)
+		printResult(stdout, res)
 		if *targets {
 			tr := sim.RunTargets(btb.New(btb.DefaultConfig()), b, *branches)
-			fmt.Printf("targets: %.2f%% of taken transfers missed; RAS %d/%d correct; "+
+			fmt.Fprintf(stdout, "targets: %.2f%% of taken transfers missed; RAS %d/%d correct; "+
 				"IMLI backward-hint coverage %.1f%%\n",
 				tr.TargetMissRate()*100, tr.Stats.RASCorrect, tr.Stats.RASPops,
 				tr.HintCoverage()*100)
 		}
+		return nil
 	case *suite != "":
 		benches, ok := workload.Suites()[*suite]
 		if !ok {
-			fatal(fmt.Errorf("unknown suite %q (want cbp4 or cbp3)", *suite))
+			return fmt.Errorf("unknown suite %q (want cbp4 or cbp3)", *suite)
 		}
-		run, err := sim.RunSuite(*config, *suite, benches, *branches)
-		if err != nil {
-			fatal(err)
+		if _, err := predictor.New(*config); err != nil {
+			return err
 		}
+		engine := sim.NewEngine(sim.EngineConfig{Workers: *parallel, Shards: *shards, CacheDir: *cacheDir})
+		run := engine.RunSuite(func() predictor.Predictor { return predictor.MustNew(*config) },
+			*config, *suite, benches, *branches)
 		for _, res := range run.Results {
-			printResult(res)
+			printResult(stdout, res)
 		}
-		fmt.Printf("%-14s avg over %d traces: %.3f MPKI\n", *config, len(run.Results), run.AvgMPKI())
+		printSuiteLine(stdout, run)
+		return nil
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -suite, -bench, -trace, or a list flag")
 	}
 }
 
-func runTraceFile(config, path string) {
+// runAllConfigs sweeps every registry configuration over a suite (or a
+// single benchmark) and prints a ranking — the batch fan-out the
+// engine's pool and cache make cheap.
+func runAllConfigs(w io.Writer, engine *sim.Engine, suite, bench string, branches int) error {
+	var benches []workload.Benchmark
+	scope := suite
+	switch {
+	case bench != "":
+		b, err := workload.ByName(bench)
+		if err != nil {
+			return err
+		}
+		benches = []workload.Benchmark{b}
+		scope = b.Suite
+	case suite != "":
+		var ok bool
+		benches, ok = workload.Suites()[suite]
+		if !ok {
+			return fmt.Errorf("unknown suite %q (want cbp4 or cbp3)", suite)
+		}
+	default:
+		return fmt.Errorf("-all-configs needs -suite or -bench")
+	}
+
+	names := predictor.Names()
+	sort.Strings(names)
+	type row struct {
+		name  string
+		kbits int
+		run   sim.SuiteRun
+	}
+	rows := make([]row, 0, len(names))
+	for _, name := range names {
+		cfg := name
+		run := engine.RunSuite(func() predictor.Predictor { return predictor.MustNew(cfg) },
+			cfg, scope, benches, branches)
+		rows = append(rows, row{name: cfg, kbits: predictor.MustNew(cfg).StorageBits() / 1024, run: run})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].run.AvgMPKI() < rows[j].run.AvgMPKI() })
+	fmt.Fprintf(w, "%-22s %10s %10s %s\n", "predictor", "Kbits", "avg MPKI", "cache")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %10d %10.3f %d/%d shards cached\n",
+			r.name, r.kbits, r.run.AvgMPKI(),
+			r.run.CachedShards, r.run.CachedShards+r.run.RanShards)
+	}
+	return nil
+}
+
+func runTraceFile(w io.Writer, config, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p, err := predictor.New(config)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := sim.RunReader(p, r)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	printResult(res)
+	printResult(w, res)
+	return nil
 }
 
-func printResult(r sim.Result) {
-	fmt.Printf("%-14s %-12s %9d branches %10d instr  %7d misp  %6.3f MPKI  (%.2f%% misp rate)\n",
+func printResult(w io.Writer, r sim.Result) {
+	fmt.Fprintf(w, "%-14s %-12s %9d branches %10d instr  %7d misp  %6.3f MPKI  (%.2f%% misp rate)\n",
 		r.Predictor, r.Trace, r.Conditionals, r.Instructions, r.Mispredicted,
 		r.MPKI(), r.MispredictRate()*100)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "imlisim:", err)
-	os.Exit(1)
+func printSuiteLine(w io.Writer, run sim.SuiteRun) {
+	fmt.Fprintf(w, "%-14s avg over %d traces: %.3f MPKI", run.Config, len(run.Results), run.AvgMPKI())
+	if run.CachedShards > 0 {
+		fmt.Fprintf(w, "  (%d/%d shards cached)", run.CachedShards, run.CachedShards+run.RanShards)
+	}
+	fmt.Fprintln(w)
 }

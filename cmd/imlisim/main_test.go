@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBench(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-predictor=gshare", "-bench=MM-4", "-branches=2000"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MPKI") || !strings.Contains(out.String(), "MM-4") {
+		t.Errorf("unparseable output: %q", out.String())
+	}
+}
+
+func TestRunSuiteWithEngineFlags(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-predictor=bimodal", "-suite=cbp4", "-branches=1000",
+		"-parallel=4", "-shards=2", "-cache-dir=" + filepath.Join(dir, "cache")}
+	var out1 strings.Builder
+	if err := run(args, &out1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out1.String(), "avg over 40 traces") {
+		t.Errorf("missing suite average: %q", out1.String())
+	}
+	// Second run must report a fully cached suite.
+	var out2 strings.Builder
+	if err := run(args, &out2, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "80/80 shards cached") {
+		t.Errorf("second run not served from cache: %q", out2.String())
+	}
+}
+
+func TestRunAllConfigsBench(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-all-configs", "-bench=MM-4", "-branches=500"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"predictor", "avg MPKI", "tage-gsc+imli", "bimodal"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("batch output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunListPredictors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-predictors"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tage-gsc+imli") {
+		t.Errorf("predictor list missing configurations: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                 // nothing to do
+		{"-suite=nope"},                    // unknown suite
+		{"-bench=NOPE"},                    // unknown benchmark
+		{"-predictor=nope", "-suite=cbp4"}, // unknown predictor
+		{"-all-configs"},                   // batch without scope
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

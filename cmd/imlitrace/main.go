@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,30 +25,45 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "synthetic benchmark name")
-	traceFile := flag.String("trace", "", "trace file path")
-	branches := flag.Int("branches", 100000, "branch records for synthetic benchmarks")
-	hot := flag.Int("hot", 10, "number of hottest branch sites to list")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "imlitrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("imlitrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "synthetic benchmark name")
+	traceFile := fs.String("trace", "", "trace file path")
+	branches := fs.Int("branches", 100000, "branch records for synthetic benchmarks")
+	hot := fs.Int("hot", 10, "number of hottest branch sites to list")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	switch {
 	case *bench != "":
 		b, err := workload.ByName(*bench)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		a := newAnalysis()
 		b.Generate(*branches, a.add)
-		a.report(os.Stdout, b.Name, *hot)
+		a.report(stdout, b.Name, *hot)
+		return nil
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		a := newAnalysis()
 		for {
@@ -56,14 +72,15 @@ func main() {
 				break
 			}
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			a.add(rec)
 		}
-		a.report(os.Stdout, r.Name(), *hot)
+		a.report(stdout, r.Name(), *hot)
+		return nil
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -bench or -trace")
 	}
 }
 
@@ -177,9 +194,4 @@ func (a *analysis) report(w io.Writer, name string, hot int) {
 		fmt.Fprintf(w, "    %#10x %-5s %-4s %8d execs  %5.1f%% taken\n",
 			s.pc, s.kind, dir, s.count, float64(s.taken)/float64(s.count)*100)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "imlitrace:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchAnalysis(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-bench=SPEC2K6-12", "-branches=2000"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace SPEC2K6-12", "conditionals", "IMLI profile", "hottest"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("analysis missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil, io.Discard, io.Discard); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+}

@@ -1,0 +1,43 @@
+// Package examples holds no library code; this build-only smoke test
+// keeps every example compiling (each example is its own main package,
+// exercised here via the go tool rather than imported).
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestExamplesBuild(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) < 5 {
+		t.Fatalf("expected at least 5 examples, found %d", len(dirs))
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			cmd := exec.Command(goBin, "build", "-o", os.DevNull, "./"+filepath.Clean(dir))
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			if out, err := cmd.CombinedOutput(); err != nil {
+				t.Errorf("example %s does not build: %v\n%s", dir, err, out)
+			}
+		})
+	}
+}

@@ -12,7 +12,11 @@
 //   - the synthetic CBP-like benchmark suites and the trace-driven
 //     simulator used to evaluate them;
 //   - the experiment harness that regenerates every table and figure of
-//     the paper (Experiments, RunExperiment).
+//     the paper (Experiments, RunExperiment);
+//   - engine controls for both (WithParallel, WithShards, WithCacheDir,
+//     WithProgress): suite runs fan (benchmark × shard) work items over
+//     a bounded worker pool and can be cached on disk so repeated runs
+//     are incremental.
 //
 // Quick start:
 //
@@ -23,6 +27,9 @@
 package imli
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/btb"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -102,10 +109,59 @@ func Simulate(p Predictor, b Benchmark, budget int) Result {
 	return sim.Feed(p, b.Name, func(emit func(Record)) { b.Generate(budget, emit) })
 }
 
+// Option tunes the simulation engine behind SimulateSuite and
+// RunExperiment: worker-pool width, per-benchmark sharding, and the
+// on-disk result cache.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	parallel int
+	shards   int
+	cacheDir string
+	progress io.Writer
+}
+
+// WithParallel bounds concurrent shard simulations (default:
+// GOMAXPROCS).
+func WithParallel(n int) Option { return func(o *engineOptions) { o.parallel = n } }
+
+// WithShards splits every benchmark's branch budget into n
+// deterministic stream segments simulated as independent work items.
+// Merged MPKI stays within a few percent of the unsharded run; see
+// DESIGN.md §5 for the tolerance and the warm-up caveat.
+func WithShards(n int) Option { return func(o *engineOptions) { o.shards = n } }
+
+// WithCacheDir backs the run with a content-addressed on-disk result
+// store rooted at dir, so repeated identical runs are incremental.
+func WithCacheDir(dir string) Option { return func(o *engineOptions) { o.cacheDir = dir } }
+
+// WithProgress streams per-suite progress lines (with cache
+// accounting) to w while an experiment runs.
+func WithProgress(w io.Writer) Option { return func(o *engineOptions) { o.progress = w } }
+
+func applyOptions(opts []Option) engineOptions {
+	var o engineOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // SimulateSuite runs a registry configuration over a whole suite
-// ("cbp4" or "cbp3") in parallel.
-func SimulateSuite(config, suite string, budget int) (SuiteRun, error) {
-	return sim.RunSuite(config, suite, workload.Suites()[suite], budget)
+// ("cbp4" or "cbp3") in parallel, honoring sharding and caching
+// options.
+func SimulateSuite(config, suite string, budget int, opts ...Option) (SuiteRun, error) {
+	benches, ok := workload.Suites()[suite]
+	if !ok {
+		return SuiteRun{}, fmt.Errorf("imli: unknown suite %q (want cbp4 or cbp3)", suite)
+	}
+	if _, err := predictor.New(config); err != nil {
+		return SuiteRun{}, err
+	}
+	o := applyOptions(opts)
+	engine := sim.NewEngine(sim.EngineConfig{Workers: o.parallel, Shards: o.shards, CacheDir: o.cacheDir})
+	builder := func() Predictor { return predictor.MustNew(config) }
+	return engine.RunSuite(builder, config, suite, benches, budget), nil
 }
 
 // TargetUnit is the fetch-target substrate (BTB + return address
@@ -155,12 +211,20 @@ func Experiments() []Experiment { return experiments.All() }
 
 // RunExperiment reproduces one paper artifact by experiment ID (e.g.
 // "fig8", "table1", "storage") with the given per-trace branch budget
-// (0 = full size).
-func RunExperiment(id string, budget int) (ExperimentReport, error) {
+// (0 = full size), honoring parallelism, sharding, caching, and
+// progress options.
+func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, error) {
 	e, err := experiments.ByID(id)
 	if err != nil {
 		return ExperimentReport{}, err
 	}
-	r := experiments.NewRunner(experiments.Params{Budget: budget})
+	o := applyOptions(opts)
+	r := experiments.NewRunner(experiments.Params{
+		Budget:   budget,
+		Parallel: o.parallel,
+		Shards:   o.shards,
+		CacheDir: o.cacheDir,
+		Progress: o.progress,
+	})
 	return e.Run(r), nil
 }

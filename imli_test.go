@@ -1,6 +1,7 @@
 package imli_test
 
 import (
+	"strings"
 	"testing"
 
 	imli "repro"
@@ -96,5 +97,56 @@ func TestFacadeSuiteRun(t *testing.T) {
 	}
 	if len(run.Results) != 40 || run.AvgMPKI() <= 0 {
 		t.Errorf("suite run = %d results, %.3f MPKI", len(run.Results), run.AvgMPKI())
+	}
+	if _, err := imli.SimulateSuite("bimodal", "nope", 4000); err == nil {
+		t.Error("unknown suite accepted")
+	}
+}
+
+func TestFacadeSuiteOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	dir := t.TempDir()
+	opts := []imli.Option{imli.WithParallel(4), imli.WithShards(2), imli.WithCacheDir(dir)}
+	run1, err := imli.SimulateSuite("bimodal", "cbp4", 4000, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run1.RanShards != 80 || run1.CachedShards != 0 {
+		t.Fatalf("first run shard accounting = %d ran / %d cached", run1.RanShards, run1.CachedShards)
+	}
+	run2, err := imli.SimulateSuite("bimodal", "cbp4", 4000, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.CachedShards != 80 || run2.RanShards != 0 {
+		t.Errorf("second run shard accounting = %d ran / %d cached, want fully cached",
+			run2.RanShards, run2.CachedShards)
+	}
+	for i := range run1.Results {
+		if run1.Results[i] != run2.Results[i] {
+			t.Errorf("%s: cached result differs", run1.Results[i].Trace)
+		}
+	}
+}
+
+func TestFacadeExperimentOptions(t *testing.T) {
+	dir := t.TempDir()
+	var progress strings.Builder
+	rep1, err := imli.RunExperiment("e1", 2000,
+		imli.WithShards(2), imli.WithCacheDir(dir), imli.WithProgress(&progress))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "ran") {
+		t.Errorf("no progress lines: %q", progress.String())
+	}
+	rep2, err := imli.RunExperiment("e1", 2000, imli.WithShards(2), imli.WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Text != rep2.Text {
+		t.Error("cached experiment differs from fresh run")
 	}
 }

@@ -48,6 +48,60 @@ func TestRunnerCaches(t *testing.T) {
 	}
 }
 
+func TestRunnerDiskCacheIncremental(t *testing.T) {
+	// A second runner with the same params over the same cache
+	// directory must serve every shard from disk and reproduce the
+	// experiment verbatim — the property that makes repeated
+	// experiment runs and CI incremental.
+	dir := t.TempDir()
+	params := Params{Budget: 3000, Shards: 2, CacheDir: dir}
+
+	r1 := NewRunner(params)
+	rep1 := runE1(r1)
+	st1 := r1.EngineStats()
+	if st1.Simulated == 0 || st1.CacheHits != 0 {
+		t.Fatalf("first run stats = %+v, want fresh simulation", st1)
+	}
+
+	r2 := NewRunner(params)
+	rep2 := runE1(r2)
+	st2 := r2.EngineStats()
+	if st2.Simulated != 0 {
+		t.Errorf("second run simulated %d shards, want all %d from cache", st2.Simulated, st1.Simulated)
+	}
+	if st2.CacheHits != st1.Simulated {
+		t.Errorf("second run hit %d cached shards, want %d", st2.CacheHits, st1.Simulated)
+	}
+	if rep1.Text != rep2.Text {
+		t.Error("cached experiment text differs from the fresh run")
+	}
+	for k, v := range rep1.Values {
+		if rep2.Values[k] != v {
+			t.Errorf("value %q differs: %v vs %v", k, v, rep2.Values[k])
+		}
+	}
+
+	// A runner with a different budget over the same directory must
+	// not be served stale entries.
+	r3 := NewRunner(Params{Budget: 4000, Shards: 2, CacheDir: dir})
+	runE1(r3)
+	if st := r3.EngineStats(); st.CacheHits != 0 {
+		t.Errorf("budget change still hit the cache: %+v", st)
+	}
+}
+
+func TestRunnerProgressReportsCache(t *testing.T) {
+	dir := t.TempDir()
+	r1 := NewRunner(Params{Budget: 2000, CacheDir: dir})
+	r1.Suite("bimodal", "cbp4")
+	var buf strings.Builder
+	r2 := NewRunner(Params{Budget: 2000, CacheDir: dir, Progress: &buf})
+	r2.Suite("bimodal", "cbp4")
+	if !strings.Contains(buf.String(), "40/40 shards cached") {
+		t.Errorf("progress line missing cache accounting: %q", buf.String())
+	}
+}
+
 func TestRunnerDefaultBudget(t *testing.T) {
 	r := NewRunner(Params{})
 	if r.Params().Budget != DefaultParams().Budget {

@@ -2,8 +2,11 @@
 // figure of the paper's evaluation (see the per-experiment index in
 // DESIGN.md §4). Each experiment renders the same rows/series the
 // paper reports and exposes key scalar metrics for tests and for
-// EXPERIMENTS.md. Suite runs are cached inside a Runner so experiments
-// that share configurations (most of them) do not re-simulate.
+// EXPERIMENTS.md (render it with cmd/imlireport). Suite runs are
+// cached inside a Runner so experiments that share configurations
+// (most of them) do not re-simulate, and optionally in an on-disk
+// result store (Params.CacheDir) so repeated runs are incremental
+// across processes.
 package experiments
 
 import (
@@ -22,8 +25,19 @@ type Params struct {
 	// Budget is the number of branch records generated per trace.
 	Budget int
 	// Progress, when non-nil, receives one line per completed suite
-	// run.
+	// run (with cache accounting when a result store is configured).
 	Progress io.Writer
+	// Parallel bounds concurrent shard simulations across the whole
+	// runner; 0 means GOMAXPROCS.
+	Parallel int
+	// Shards splits every benchmark into this many engine work items;
+	// 0 or 1 runs benchmarks unsharded (see DESIGN.md §5 for the
+	// merged-MPKI tolerance sharding introduces).
+	Shards int
+	// CacheDir, when non-empty, backs the runner with a
+	// content-addressed on-disk result store so repeated experiment
+	// runs (and CI) only simulate what changed.
+	CacheDir string
 }
 
 // DefaultParams runs the full-size evaluation.
@@ -33,9 +47,12 @@ func DefaultParams() Params { return Params{Budget: 250000} }
 // but absolute numbers are noisier.
 func QuickParams() Params { return Params{Budget: 40000} }
 
-// Runner executes and caches suite simulations.
+// Runner executes and caches suite simulations. The in-memory map
+// deduplicates suite runs inside one process; the engine's result
+// store (Params.CacheDir) makes them incremental across processes.
 type Runner struct {
 	params Params
+	engine *sim.Engine
 
 	mu      sync.Mutex
 	suites  map[string][]workload.Benchmark
@@ -50,6 +67,7 @@ func NewRunner(p Params) *Runner {
 	}
 	return &Runner{
 		params:  p,
+		engine:  sim.NewEngine(sim.EngineConfig{Workers: p.Parallel, Shards: p.Shards, CacheDir: p.CacheDir}),
 		suites:  workload.Suites(),
 		cache:   map[string]sim.SuiteRun{},
 		started: map[string]chan struct{}{},
@@ -58,6 +76,10 @@ func NewRunner(p Params) *Runner {
 
 // Params returns the runner's parameters.
 func (r *Runner) Params() Params { return r.params }
+
+// EngineStats reports how much work the runner's engine simulated
+// versus served from the on-disk store.
+func (r *Runner) EngineStats() sim.EngineStats { return r.engine.Stats() }
 
 // Benchmarks returns the named suite's benchmark list.
 func (r *Runner) Benchmarks(suite string) []workload.Benchmark { return r.suites[suite] }
@@ -95,7 +117,7 @@ func (r *Runner) suiteWith(cacheKey, suite string, builder func() predictor.Pred
 	benches := r.suites[suite]
 	r.mu.Unlock()
 
-	run := sim.RunSuiteWith(builder, name, suite, benches, r.params.Budget)
+	run := r.engine.RunSuite(builder, name, suite, benches, r.params.Budget)
 
 	r.mu.Lock()
 	r.cache[cacheKey] = run
@@ -103,7 +125,12 @@ func (r *Runner) suiteWith(cacheKey, suite string, builder func() predictor.Pred
 	close(ch)
 	r.mu.Unlock()
 	if r.params.Progress != nil {
-		fmt.Fprintf(r.params.Progress, "ran %-24s %s: %.3f MPKI\n", name, suite, run.AvgMPKI())
+		if run.CachedShards > 0 {
+			fmt.Fprintf(r.params.Progress, "ran %-24s %s: %.3f MPKI (%d/%d shards cached)\n",
+				name, suite, run.AvgMPKI(), run.CachedShards, run.CachedShards+run.RanShards)
+		} else {
+			fmt.Fprintf(r.params.Progress, "ran %-24s %s: %.3f MPKI\n", name, suite, run.AvgMPKI())
+		}
 	}
 	return run
 }

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// EngineVersion participates in every store key. Bump it whenever the
+// simulator, the workload generators, or a predictor implementation
+// changes in a way that alters simulated counters, so stale cache
+// entries can never be returned.
+const EngineVersion = 1
+
+// DefaultShardWarmup is the functional warm-up length (in branch
+// records) a shard trains on before its measured segment when the
+// engine config leaves Warmup at zero. 10K records keeps the merged
+// MPKI within a few percent of the unsharded run (see DESIGN.md §5).
+const DefaultShardWarmup = 10000
+
+// EngineConfig sizes the simulation engine.
+type EngineConfig struct {
+	// Workers bounds concurrent shard simulations; <=0 means
+	// GOMAXPROCS. The bound is engine-wide: concurrent suite runs
+	// sharing one engine also share the pool.
+	Workers int
+	// Shards splits each benchmark's branch budget into this many
+	// contiguous segments of the deterministic stream, simulated as
+	// independent work items; <=1 runs each benchmark unsharded. See
+	// DESIGN.md §5 for the accuracy tolerance sharding introduces.
+	Shards int
+	// Warmup is the functional warm-up length per shard: how many
+	// records before its segment a shard's fresh predictor trains on
+	// unmeasured. 0 means DefaultShardWarmup; <0 disables warm-up.
+	Warmup int
+	// Store, when non-nil, caches per-shard results on disk so
+	// repeated runs are incremental.
+	Store *Store
+	// CacheDir opens a Store rooted at the directory when Store is
+	// nil and the string is non-empty — the common case for callers
+	// plumbing a -cache-dir flag.
+	CacheDir string
+}
+
+// EngineStats counts what an engine did across its lifetime.
+type EngineStats struct {
+	// Simulated is the number of shard work items actually simulated.
+	Simulated uint64
+	// CacheHits is the number of shard work items served by the store.
+	CacheHits uint64
+}
+
+// Engine executes (configuration × benchmark × shard) work items over
+// a bounded worker pool, merging per-shard results into per-benchmark
+// Results. A fresh predictor instance is built per work item (the CBP
+// methodology: traces — and here shards — are independent runs).
+type Engine struct {
+	workers   int
+	shards    int
+	warmup    int
+	store     *Store
+	simulated atomic.Uint64
+	hits      atomic.Uint64
+}
+
+// NewEngine returns an engine for the given configuration.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	switch {
+	case cfg.Warmup == 0:
+		cfg.Warmup = DefaultShardWarmup
+	case cfg.Warmup < 0:
+		cfg.Warmup = 0
+	}
+	if cfg.Store == nil && cfg.CacheDir != "" {
+		cfg.Store = OpenStore(cfg.CacheDir)
+	}
+	return &Engine{workers: cfg.Workers, shards: cfg.Shards, warmup: cfg.Warmup, store: cfg.Store}
+}
+
+// Shards returns the per-benchmark shard count.
+func (e *Engine) Shards() int { return e.shards }
+
+// Stats returns cumulative work counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Simulated: e.simulated.Load(), CacheHits: e.hits.Load()}
+}
+
+// RunSuite simulates one configuration over every benchmark of a
+// suite. builder must build a fresh predictor per call; name labels
+// the configuration and keys the store (so it must uniquely identify
+// what builder builds). Results come back in benchmark order and are
+// deterministic regardless of worker count.
+func (e *Engine) RunSuite(builder func() predictor.Predictor, name, suite string, benches []workload.Benchmark, budget int) SuiteRun {
+	run := SuiteRun{Config: name, Suite: suite, Results: make([]Result, len(benches))}
+
+	type item struct{ bench, shard int }
+	items := make([]item, 0, len(benches)*e.shards)
+	for bi := range benches {
+		for si := 0; si < e.shards; si++ {
+			items = append(items, item{bi, si})
+		}
+	}
+	shardRes := make([][]Result, len(benches))
+	for i := range shardRes {
+		shardRes[i] = make([]Result, e.shards)
+	}
+
+	var cached atomic.Uint64
+	workers := e.workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	feed := make(chan item)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range feed {
+				res, hit := e.runShard(builder, name, suite, benches[it.bench], budget, it.shard)
+				if hit {
+					cached.Add(1)
+				}
+				shardRes[it.bench][it.shard] = res
+			}
+		}()
+	}
+	for _, it := range items {
+		feed <- it
+	}
+	close(feed)
+	wg.Wait()
+
+	for i := range benches {
+		run.Results[i] = MergeShards(shardRes[i])
+	}
+	run.RanShards = len(items) - int(cached.Load())
+	run.CachedShards = int(cached.Load())
+	return run
+}
+
+// runShard serves one work item, from the store when possible. A
+// shard regenerates the stream prefix up to the end of its segment
+// (generation is cheap and deterministic), discards records before its
+// warm-up window, trains unmeasured through the window, and measures
+// its segment.
+func (e *Engine) runShard(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget, shard int) (Result, bool) {
+	key := Key{
+		Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
+		Budget: budget, Seed: b.Seed, Shard: shard, Shards: e.shards, Warmup: e.warmup,
+	}
+	if e.store != nil {
+		if res, ok := e.store.Load(key); ok {
+			e.hits.Add(1)
+			return res, true
+		}
+	}
+	start := workload.ShardStart(budget, shard, e.shards)
+	end := start + workload.ShardBudget(budget, shard, e.shards)
+	warmStart := start - e.warmup
+	if warmStart < 0 {
+		warmStart = 0
+	}
+	measureEnd := end
+	if e.shards == 1 {
+		// Unsharded runs keep the generator's episode-granular
+		// overshoot, bit-identical to a plain Feed.
+		measureEnd = noLimit
+	}
+	p := builder()
+	res := feedSpan(p, b.Name, warmStart, start, measureEnd, func(emit func(trace.Record)) {
+		b.Generate(end, emit)
+	})
+	e.simulated.Add(1)
+	if e.store != nil {
+		// Best-effort: a full disk or read-only cache directory must
+		// not fail the simulation; the run simply stays uncached.
+		_ = e.store.Save(key, res)
+	}
+	return res, false
+}
+
+// MergeShards combines the per-shard results of one benchmark by
+// summing counters, so MPKI and misprediction rate become the
+// instruction- and branch-weighted aggregates of the shards. The
+// labels are taken from the first part.
+func MergeShards(parts []Result) Result {
+	if len(parts) == 0 {
+		return Result{}
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out.Instructions += p.Instructions
+		out.Records += p.Records
+		out.Conditionals += p.Conditionals
+		out.Mispredicted += p.Mispredicted
+	}
+	return out
+}

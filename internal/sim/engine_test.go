@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/workload"
+)
+
+func builderFor(config string) func() predictor.Predictor {
+	return func() predictor.Predictor { return predictor.MustNew(config) }
+}
+
+func TestEngineUnshardedMatchesFeed(t *testing.T) {
+	// A 1-shard engine run must be bit-identical to a direct Feed.
+	benches := workload.CBP4()[:4]
+	run := NewEngine(EngineConfig{}).RunSuite(builderFor("gshare"), "gshare", "cbp4", benches, 6000)
+	for i, b := range benches {
+		direct, err := RunBenchmark("gshare", b, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Results[i] != direct {
+			t.Errorf("%s: engine %+v != direct %+v", b.Name, run.Results[i], direct)
+		}
+	}
+	if run.RanShards != 4 || run.CachedShards != 0 {
+		t.Errorf("shard accounting = %d ran / %d cached", run.RanShards, run.CachedShards)
+	}
+}
+
+func TestEngineShardedDeterministic(t *testing.T) {
+	benches := workload.CBP4()[:4]
+	cfg := EngineConfig{Workers: 3, Shards: 4}
+	run1 := NewEngine(cfg).RunSuite(builderFor("gshare"), "gshare", "cbp4", benches, 20000)
+	cfg.Workers = 7
+	run2 := NewEngine(cfg).RunSuite(builderFor("gshare"), "gshare", "cbp4", benches, 20000)
+	for i := range run1.Results {
+		if run1.Results[i] != run2.Results[i] {
+			t.Errorf("%s differs across worker counts", run1.Results[i].Trace)
+		}
+	}
+}
+
+func TestEngineShardBudgetsSum(t *testing.T) {
+	// Shard segments must partition the budget exactly, including
+	// when the budget does not divide evenly.
+	benches := workload.CBP4()[:2]
+	const budget = 10007
+	run := NewEngine(EngineConfig{Shards: 5}).RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, budget)
+	for _, res := range run.Results {
+		if res.Records != budget {
+			t.Errorf("%s: merged records = %d, want %d", res.Trace, res.Records, budget)
+		}
+	}
+}
+
+// TestShardedMatchesUnsharded validates the documented tolerance
+// (DESIGN.md §5): shard-merged MPKI sits within a few percent of the
+// unsharded engine, biased slightly high because each shard's warm-up
+// approximates, rather than replays, the full stream prefix.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	const budget = 60000
+	benches := workload.CBP4()[:6]
+	un := NewEngine(EngineConfig{}).RunSuite(builderFor("tage-gsc"), "tage-gsc", "cbp4", benches, budget)
+	for _, shards := range []int{4, 8} {
+		sh := NewEngine(EngineConfig{Shards: shards}).RunSuite(builderFor("tage-gsc"), "tage-gsc", "cbp4", benches, budget)
+		for i := range benches {
+			u, s := un.Results[i].MPKI(), sh.Results[i].MPKI()
+			rel := (s - u) / u
+			// Measured at this budget: ≤2.1% per benchmark for 4 and
+			// 8 shards with the default 10K warm-up. Assert the
+			// documented 8% bound with margin to spare.
+			if rel < -0.08 || rel > 0.08 {
+				t.Errorf("%s @ %d shards: sharded %.3f vs unsharded %.3f MPKI (%.1f%%), outside ±8%%",
+					benches[i].Name, shards, s, u, rel*100)
+			}
+		}
+		u, s := un.AvgMPKI(), sh.AvgMPKI()
+		if rel := (s - u) / u; rel < -0.04 || rel > 0.04 {
+			t.Errorf("suite avg @ %d shards: %.3f vs %.3f (%.1f%%), outside ±4%%", shards, s, u, rel*100)
+		}
+	}
+}
+
+func TestEngineStoreRoundTrip(t *testing.T) {
+	benches := workload.CBP4()[:3]
+	store := OpenStore(t.TempDir())
+	cfg := EngineConfig{Shards: 2, Store: store}
+
+	e1 := NewEngine(cfg)
+	run1 := e1.RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, 8000)
+	if st := e1.Stats(); st.Simulated != 6 || st.CacheHits != 0 {
+		t.Fatalf("first run stats = %+v, want 6 simulated", st)
+	}
+	if run1.RanShards != 6 || run1.CachedShards != 0 {
+		t.Fatalf("first run shard accounting = %+v", run1)
+	}
+
+	// A fresh engine over the same store must serve everything from
+	// disk and reproduce the results exactly.
+	e2 := NewEngine(cfg)
+	run2 := e2.RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, 8000)
+	if st := e2.Stats(); st.Simulated != 0 || st.CacheHits != 6 {
+		t.Fatalf("second run stats = %+v, want 6 cache hits", st)
+	}
+	if run2.CachedShards != 6 || run2.RanShards != 0 {
+		t.Fatalf("second run shard accounting = %+v", run2)
+	}
+	for i := range run1.Results {
+		if run1.Results[i] != run2.Results[i] {
+			t.Errorf("%s: cached result differs", run1.Results[i].Trace)
+		}
+	}
+
+	// A different budget must not hit the cache.
+	e3 := NewEngine(cfg)
+	e3.RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, 9000)
+	if st := e3.Stats(); st.CacheHits != 0 {
+		t.Errorf("budget change still hit the cache: %+v", st)
+	}
+}
+
+func TestEngineWarmupKeysCache(t *testing.T) {
+	benches := workload.CBP4()[:1]
+	store := OpenStore(t.TempDir())
+	e1 := NewEngine(EngineConfig{Shards: 2, Warmup: 500, Store: store})
+	e1.RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, 4000)
+	e2 := NewEngine(EngineConfig{Shards: 2, Warmup: 1000, Store: store})
+	e2.RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, 4000)
+	if st := e2.Stats(); st.CacheHits != 0 {
+		t.Errorf("different warm-up length hit the cache: %+v", st)
+	}
+}
+
+func TestMergeShards(t *testing.T) {
+	parts := []Result{
+		{Trace: "t", Predictor: "p", Instructions: 1000, Records: 100, Conditionals: 80, Mispredicted: 8},
+		{Trace: "t", Predictor: "p", Instructions: 3000, Records: 300, Conditionals: 240, Mispredicted: 12},
+	}
+	m := MergeShards(parts)
+	if m.Instructions != 4000 || m.Records != 400 || m.Conditionals != 320 || m.Mispredicted != 20 {
+		t.Errorf("merge = %+v", m)
+	}
+	if m.MPKI() != 5.0 {
+		t.Errorf("merged MPKI = %v, want 5.0 (instruction-weighted)", m.MPKI())
+	}
+	if (MergeShards(nil) != Result{}) {
+		t.Error("empty merge not zero")
+	}
+}

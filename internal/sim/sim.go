@@ -9,8 +9,6 @@ package sim
 
 import (
 	"io"
-	"runtime"
-	"sync"
 
 	"repro/internal/predictor"
 	"repro/internal/trace"
@@ -48,15 +46,41 @@ func (r Result) MispredictRate() float64 {
 // and returns the accumulated result. gen must call its argument once
 // per record, in program order.
 func Feed(p predictor.Predictor, name string, gen func(func(trace.Record))) Result {
+	return feedSpan(p, name, 0, 0, noLimit, gen)
+}
+
+// noLimit makes a feedSpan window right-unbounded.
+const noLimit = int(^uint(0) >> 1)
+
+// feedSpan runs the predictor over a window of the stream gen
+// produces: records before warmStart are discarded without touching
+// the predictor, records in [warmStart, start) train the predictor but
+// are not measured (functional warm-up), records in [start, end) are
+// simulated and accumulated as usual, and records from end on are
+// discarded (generators may overshoot their budget at episode
+// granularity; the bound keeps adjacent shards from double-counting).
+// feedSpan(p, name, 0, 0, noLimit, gen) is Feed(p, name, gen).
+func feedSpan(p predictor.Predictor, name string, warmStart, start, end int, gen func(func(trace.Record))) Result {
 	res := Result{Trace: name, Predictor: p.Name()}
+	seen := 0
 	gen(func(r trace.Record) {
-		res.Records++
-		res.Instructions += r.Instructions()
+		i := seen
+		seen++
+		if i < warmStart || i >= end {
+			return
+		}
+		measured := i >= start
+		if measured {
+			res.Records++
+			res.Instructions += r.Instructions()
+		}
 		if r.Conditional() {
-			res.Conditionals++
 			pred := p.Predict(r.PC)
-			if pred != r.Taken {
-				res.Mispredicted++
+			if measured {
+				res.Conditionals++
+				if pred != r.Taken {
+					res.Mispredicted++
+				}
 			}
 			p.Train(r.PC, r.Target, r.Taken)
 		} else {
@@ -104,6 +128,10 @@ type SuiteRun struct {
 	Config  string
 	Suite   string
 	Results []Result
+	// RanShards and CachedShards report how much of the run was
+	// simulated versus served from the engine's result store.
+	RanShards    int
+	CachedShards int
 }
 
 // AvgMPKI returns the arithmetic mean MPKI over the suite, the paper's
@@ -130,8 +158,8 @@ func (s SuiteRun) ByTrace(name string) (Result, bool) {
 }
 
 // RunSuite simulates one registry configuration over every benchmark
-// of the suite, in parallel across CPUs. A fresh predictor instance is
-// built per trace (the CBP methodology: traces are independent runs).
+// of the suite, in parallel across CPUs (a fresh single-use engine;
+// see Engine for sharding and caching controls).
 func RunSuite(config, suite string, benches []workload.Benchmark, budget int) (SuiteRun, error) {
 	if _, err := predictor.New(config); err != nil {
 		return SuiteRun{}, err
@@ -144,29 +172,5 @@ func RunSuite(config, suite string, benches []workload.Benchmark, budget int) (S
 // experiments whose configuration is not in the registry, such as the
 // delayed-update variant).
 func RunSuiteWith(builder func() predictor.Predictor, name, suite string, benches []workload.Benchmark, budget int) SuiteRun {
-	run := SuiteRun{Config: name, Suite: suite, Results: make([]Result, len(benches))}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(benches) {
-		workers = len(benches)
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				p := builder()
-				run.Results[i] = Feed(p, benches[i].Name, func(emit func(trace.Record)) {
-					benches[i].Generate(budget, emit)
-				})
-			}
-		}()
-	}
-	for i := range benches {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return run
+	return NewEngine(EngineConfig{}).RunSuite(builder, name, suite, benches, budget)
 }

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Key identifies one shard simulation in the on-disk result store.
+// Every field that influences the simulated counters participates, so
+// a key collision means the cached result is genuinely reusable:
+// predictor configuration, workload identity (trace name + generator
+// seed), branch budget, shard coordinates and warm-up length, and the
+// engine version
+// (bumped whenever simulation or generation semantics change).
+type Key struct {
+	Engine int    `json:"engine"`
+	Config string `json:"config"`
+	Suite  string `json:"suite"`
+	Trace  string `json:"trace"`
+	Budget int    `json:"budget"`
+	Seed   uint64 `json:"seed"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+	Warmup int    `json:"warmup"`
+}
+
+// id returns the content address: a hex SHA-256 of the canonical key
+// encoding.
+func (k Key) id() string {
+	s := fmt.Sprintf("v%d|%s|%s|%s|%d|%d|%d/%d|w%d",
+		k.Engine, k.Config, k.Suite, k.Trace, k.Budget, k.Seed, k.Shard, k.Shards, k.Warmup)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is a content-addressed result cache on disk. Entries are
+// immutable JSON files named by the hash of their key, fanned out over
+// 256 subdirectories. Concurrent readers and writers (including
+// separate processes sharing the directory) are safe: writes go to a
+// temp file and are renamed into place atomically.
+type Store struct {
+	dir string
+}
+
+// OpenStore returns a store rooted at dir. The directory is created
+// lazily on first save, so opening never fails; a missing or unwritable
+// directory degrades to cache misses.
+func OpenStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entry is the on-disk format: the full key is stored alongside the
+// result so entries are self-describing and a load can verify it got
+// the result it asked for.
+type entry struct {
+	Key    Key    `json:"key"`
+	Result Result `json:"result"`
+}
+
+func (s *Store) path(k Key) string {
+	id := k.id()
+	return filepath.Join(s.dir, id[:2], id[2:]+".json")
+}
+
+// Load returns the cached result for the key. Any miss, parse failure
+// or key mismatch reads as a cache miss.
+func (s *Store) Load(k Key) (Result, bool) {
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return Result{}, false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil || e.Key != k {
+		return Result{}, false
+	}
+	return e.Result, true
+}
+
+// Save persists the result under the key, atomically.
+func (s *Store) Save(k Key, r Result) error {
+	p := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(entry{Key: k, Result: r})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

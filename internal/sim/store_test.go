@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testKey() Key {
+	return Key{
+		Engine: EngineVersion, Config: "tage-gsc+imli", Suite: "cbp4", Trace: "MM-4",
+		Budget: 250000, Seed: 0xDEADBEEF, Shard: 3, Shards: 8, Warmup: 10000,
+	}
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	s := OpenStore(t.TempDir())
+	k := testKey()
+	want := Result{Trace: "MM-4", Predictor: "tage-gsc+imli", Instructions: 12345, Records: 999, Conditionals: 800, Mispredicted: 42}
+	if _, ok := s.Load(k); ok {
+		t.Fatal("empty store returned a result")
+	}
+	if err := s.Save(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(k)
+	if !ok || got != want {
+		t.Fatalf("Load = %+v, %v; want %+v", got, ok, want)
+	}
+}
+
+func TestStoreKeySensitivity(t *testing.T) {
+	// Every key field must change the content address.
+	base := testKey()
+	variants := []Key{base}
+	for i, mut := range []func(*Key){
+		func(k *Key) { k.Engine++ },
+		func(k *Key) { k.Config = "tage-gsc" },
+		func(k *Key) { k.Suite = "cbp3" },
+		func(k *Key) { k.Trace = "MM-5" },
+		func(k *Key) { k.Budget++ },
+		func(k *Key) { k.Seed++ },
+		func(k *Key) { k.Shard++ },
+		func(k *Key) { k.Shards++ },
+		func(k *Key) { k.Warmup++ },
+	} {
+		k := base
+		mut(&k)
+		variants = append(variants, k)
+		_ = i
+	}
+	seen := map[string]int{}
+	for i, k := range variants {
+		id := k.id()
+		if prev, dup := seen[id]; dup {
+			t.Errorf("variants %d and %d share id %s", prev, i, id)
+		}
+		seen[id] = i
+	}
+}
+
+func TestStoreRejectsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := OpenStore(dir)
+	k := testKey()
+	if err := s.Save(k, Result{Trace: "MM-4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+}
+
+func TestStoreMissingDirIsMiss(t *testing.T) {
+	s := OpenStore(filepath.Join(t.TempDir(), "never-created"))
+	if _, ok := s.Load(testKey()); ok {
+		t.Error("missing directory produced a hit")
+	}
+}
+
+func TestStoreEntriesAreFannedOut(t *testing.T) {
+	dir := t.TempDir()
+	s := OpenStore(dir)
+	k := testKey()
+	if err := s.Save(k, Result{}); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(k)
+	rel, err := filepath.Rel(dir, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Dir(rel)
+	if len(sub) != 2 {
+		t.Errorf("entry not fanned into a 2-hex subdirectory: %s", rel)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Errorf("entry file missing: %v", err)
+	}
+}

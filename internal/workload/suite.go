@@ -71,6 +71,40 @@ func (b Benchmark) Stats(budget int) trace.Stats {
 	return s
 }
 
+// Sharding splits a benchmark's budget into n contiguous segments of
+// the one deterministic stream Generate produces (the stream is a pure
+// function of Seed, so any prefix can be regenerated at will). Shard s
+// covers records [ShardStart(budget, s, n), ShardStart(budget, s+1, n));
+// the segments always sum to budget exactly, with the first budget%n
+// shards one record longer. See DESIGN.md §5 for how the simulation
+// engine warms a predictor into the middle of the stream.
+
+// ShardBudget returns the record count of shard s of an n-way split.
+func ShardBudget(budget, s, n int) int {
+	if n <= 1 {
+		return budget
+	}
+	q, r := budget/n, budget%n
+	if s < r {
+		return q + 1
+	}
+	return q
+}
+
+// ShardStart returns the stream offset at which shard s of an n-way
+// split begins.
+func ShardStart(budget, s, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	q, r := budget/n, budget%n
+	start := s * q
+	if s < r {
+		return start + s
+	}
+	return start + r
+}
+
 // part constructors used by the suite tables.
 
 func nest(w float64, cfg nestConfig) part {

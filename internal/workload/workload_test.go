@@ -212,3 +212,59 @@ func TestBitvec(t *testing.T) {
 }
 
 func newTestRand() *num.Rand { return num.NewRand(99) }
+
+func TestShardPartition(t *testing.T) {
+	// Shard budgets and starts must partition [0, budget) exactly for
+	// even and uneven splits.
+	for _, tc := range []struct{ budget, n int }{
+		{10000, 1}, {10000, 4}, {10007, 5}, {3, 8}, {0, 4},
+	} {
+		off := 0
+		total := 0
+		for s := 0; s < tc.n; s++ {
+			if got := ShardStart(tc.budget, s, tc.n); got != off {
+				t.Errorf("ShardStart(%d, %d, %d) = %d, want %d", tc.budget, s, tc.n, got, off)
+			}
+			sb := ShardBudget(tc.budget, s, tc.n)
+			if sb < 0 {
+				t.Errorf("negative shard budget %d", sb)
+			}
+			off += sb
+			total += sb
+		}
+		if total != tc.budget {
+			t.Errorf("shards of budget=%d n=%d sum to %d", tc.budget, tc.n, total)
+		}
+	}
+}
+
+func TestShardSegmentsMatchStream(t *testing.T) {
+	// Generating a prefix of the stream must reproduce the full
+	// stream's records exactly: sharding depends on prefix stability.
+	b, err := ByName("MM-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 5000
+	var full []trace.Record
+	b.Generate(budget, func(r trace.Record) { full = append(full, r) })
+	// Generation stops at episode granularity, so it may overshoot
+	// the budget slightly — but never undershoot.
+	if len(full) < budget {
+		t.Fatalf("generated %d records, want >= %d", len(full), budget)
+	}
+	const n = 3
+	for s := 0; s < n; s++ {
+		end := ShardStart(budget, s, n) + ShardBudget(budget, s, n)
+		var prefix []trace.Record
+		b.Generate(end, func(r trace.Record) { prefix = append(prefix, r) })
+		if len(prefix) < end {
+			t.Fatalf("prefix has %d records, want >= %d", len(prefix), end)
+		}
+		for i := 0; i < end; i++ {
+			if prefix[i] != full[i] {
+				t.Fatalf("record %d differs between prefix and full stream", i)
+			}
+		}
+	}
+}
