@@ -182,6 +182,53 @@ func BenchmarkSimulateSuiteSlice(b *testing.B) {
 	}
 }
 
+// benchEngineSharded measures an 8-shard suite run over 4 benchmarks.
+// The streamMem knob selects the data path: negative regenerates each
+// shard's stream prefix (O(shards×budget) generation work, the
+// pre-stream-layer behaviour), non-negative materializes each stream
+// once and hands shards read-only slices (O(budget)). The before/after
+// numbers are recorded in BENCH_sim.json.
+func benchEngineSharded(b *testing.B, config string, streamMem int64) {
+	b.Helper()
+	benches := workload.CBP4()[:4]
+	const budget, shards = 40000, 8
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine(sim.EngineConfig{Shards: shards, StreamMemory: streamMem})
+		run := e.RunSuite(func() predictor.Predictor { return predictor.MustNew(config) },
+			config, "cbp4", benches, budget)
+		if i == b.N-1 {
+			b.ReportMetric(run.AvgMPKI(), "MPKI")
+		}
+	}
+}
+
+func BenchmarkEngineSharded8Materialized(b *testing.B) { benchEngineSharded(b, "gshare", 0) }
+func BenchmarkEngineSharded8Regenerate(b *testing.B)   { benchEngineSharded(b, "gshare", -1) }
+
+// The same comparison under a heavyweight predictor, where simulation
+// amortizes more of the generation cost.
+func BenchmarkEngineSharded8MaterializedTAGE(b *testing.B) {
+	benchEngineSharded(b, "tage-gsc+imli", 0)
+}
+func BenchmarkEngineSharded8RegenerateTAGE(b *testing.B) {
+	benchEngineSharded(b, "tage-gsc+imli", -1)
+}
+
+// BenchmarkStreamMaterialization isolates the one-time cost of
+// materializing a stream versus generating it through a callback.
+func BenchmarkStreamMaterialization(b *testing.B) {
+	bench, err := workload.ByName("CLIENT02")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		c := workload.NewStreamCache(0, "")
+		if st := c.Get(bench, 40000); st == nil {
+			b.Fatal("stream declined")
+		}
+	}
+}
+
 // BenchmarkIMLIComponentsOnly isolates the per-branch cost the IMLI
 // mechanism adds (counter + SIC + OH bookkeeping).
 func BenchmarkIMLIComponentsOnly(b *testing.B) {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", 0, "max concurrent shard simulations (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "shards per benchmark")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
+	streamMem := fs.Int("stream-mem", 0, "materialized-stream cache size in MiB (0 = default, negative disables)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	quiet := fs.Bool("q", false, "suppress per-suite progress lines")
 	if err := fs.Parse(argv); err != nil {
@@ -57,10 +59,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	params := experiments.Params{
-		Budget:   *branches,
-		Parallel: *parallel,
-		Shards:   *shards,
-		CacheDir: *cacheDir,
+		Budget:       *branches,
+		Parallel:     *parallel,
+		Shards:       *shards,
+		CacheDir:     *cacheDir,
+		StreamMemory: sim.StreamMemoryFromMiB(*streamMem),
 	}
 	if !*quiet {
 		params.Progress = stderr

@@ -48,6 +48,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// -suite may accompany -bench (the documented usage), but only
+		// when they agree; silently ignoring -suite would write a trace
+		// from a different suite than asked.
+		if *suite != "" && b.Suite != *suite {
+			return fmt.Errorf("conflicting flags: benchmark %q is in suite %q, not %q", b.Name, b.Suite, *suite)
+		}
 		benches = []workload.Benchmark{b}
 	case *suite != "":
 		var ok bool

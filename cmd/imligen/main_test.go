@@ -54,3 +54,21 @@ func TestRunUnknownInputs(t *testing.T) {
 		t.Error("unknown suite accepted")
 	}
 }
+
+func TestRunSuiteBenchConflict(t *testing.T) {
+	dir := t.TempDir()
+	// MM-4 is a cbp4 benchmark: naming the wrong suite used to be
+	// silently ignored and must now error.
+	err := run([]string{"-out=" + dir, "-suite=cbp3", "-bench=MM-4"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("-suite=cbp3 with cbp4 benchmark accepted")
+	}
+	if !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("unhelpful conflict error: %v", err)
+	}
+	// The documented agreeing combination keeps working.
+	if err := run([]string{"-out=" + dir, "-suite=cbp4", "-bench=MM-4", "-branches=200"},
+		io.Discard, io.Discard); err != nil {
+		t.Errorf("agreeing -suite and -bench rejected: %v", err)
+	}
+}

@@ -3,7 +3,9 @@
 // the sharded parallel engine: -parallel bounds the worker pool,
 // -shards splits each benchmark into independent work items, and
 // -cache-dir makes repeated runs incremental via the on-disk result
-// store.
+// store. Each benchmark's record stream is materialized once per run
+// and shared across shards and configurations; -stream-mem bounds the
+// resident memory of those streams.
 //
 // Usage:
 //
@@ -47,6 +49,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", 0, "max concurrent shard simulations for suite/batch runs (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 1, "shards per benchmark (suite/batch runs)")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (suite/batch runs)")
+	streamMem := fs.Int("stream-mem", 0, "materialized-stream cache size in MiB (0 = default, negative disables; suite/batch runs)")
 	allConfigs := fs.Bool("all-configs", false, "batch mode: run every registry configuration over -suite or -bench")
 	listPredictors := fs.Bool("predictors", false, "list predictor configurations and exit")
 	listBenches := fs.Bool("benchmarks", false, "list benchmark names and exit")
@@ -56,6 +59,25 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			return nil
 		}
 		return err
+	}
+
+	// The three source flags are mutually exclusive: silently ignoring
+	// one would report numbers for a different workload than asked.
+	sources := 0
+	for _, s := range []string{*suite, *bench, *traceFile} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return fmt.Errorf("conflicting source flags: pass exactly one of -suite, -bench, -trace")
+	}
+
+	engineConfig := func() sim.EngineConfig {
+		return sim.EngineConfig{
+			Workers: *parallel, Shards: *shards, CacheDir: *cacheDir,
+			StreamMemory: sim.StreamMemoryFromMiB(*streamMem),
+		}
 	}
 
 	switch {
@@ -76,7 +98,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if *traceFile != "" {
 			return fmt.Errorf("-all-configs works on -suite or -bench, not -trace")
 		}
-		engine := sim.NewEngine(sim.EngineConfig{Workers: *parallel, Shards: *shards, CacheDir: *cacheDir})
+		engine := sim.NewEngine(engineConfig())
 		return runAllConfigs(stdout, engine, *suite, *bench, *branches)
 	case *traceFile != "":
 		return runTraceFile(stdout, *config, *traceFile)
@@ -106,7 +128,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if _, err := predictor.New(*config); err != nil {
 			return err
 		}
-		engine := sim.NewEngine(sim.EngineConfig{Workers: *parallel, Shards: *shards, CacheDir: *cacheDir})
+		engine := sim.NewEngine(engineConfig())
 		run := engine.RunSuite(func() predictor.Predictor { return predictor.MustNew(*config) },
 			*config, *suite, benches, *branches)
 		for _, res := range run.Results {

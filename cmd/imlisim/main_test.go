@@ -69,9 +69,37 @@ func TestRunErrors(t *testing.T) {
 		{"-bench=NOPE"},                    // unknown benchmark
 		{"-predictor=nope", "-suite=cbp4"}, // unknown predictor
 		{"-all-configs"},                   // batch without scope
+		{"-suite=cbp4", "-bench=MM-4"},     // conflicting sources
+		{"-bench=MM-4", "-trace=x.imlt"},   // conflicting sources
+		{"-suite=cbp4", "-trace=x.imlt"},   // conflicting sources
+		{"-all-configs", "-suite=cbp4", "-bench=MM-4"}, // batch with two scopes
 	} {
 		if err := run(args, io.Discard, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+func TestRunConflictingSourcesMessage(t *testing.T) {
+	err := run([]string{"-bench=MM-4", "-trace=x.imlt"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("unhelpful conflict error: %v", err)
+	}
+}
+
+func TestRunSuiteStreamMemFlag(t *testing.T) {
+	// Both the disabled and bounded stream-cache paths must work end
+	// to end and agree on the result.
+	var out1, out2 strings.Builder
+	if err := run([]string{"-predictor=bimodal", "-suite=cbp4", "-branches=500",
+		"-shards=2", "-stream-mem=-1"}, &out1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-predictor=bimodal", "-suite=cbp4", "-branches=500",
+		"-shards=2", "-stream-mem=64"}, &out2, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Error("stream materialization changed reported results")
 	}
 }

@@ -45,6 +45,10 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if *bench != "" && *traceFile != "" {
+		return fmt.Errorf("conflicting source flags: pass exactly one of -bench or -trace")
+	}
+
 	switch {
 	case *bench != "":
 		b, err := workload.ByName(*bench)

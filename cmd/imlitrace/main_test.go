@@ -24,3 +24,15 @@ func TestRunNoArgs(t *testing.T) {
 		t.Error("no-op invocation accepted")
 	}
 }
+
+func TestRunConflictingSources(t *testing.T) {
+	// -bench used to silently win over -trace; both must now be an
+	// explicit error.
+	err := run([]string{"-bench=SPEC2K6-12", "-trace=whatever.imlt"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("conflicting -bench and -trace accepted")
+	}
+	if !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("unhelpful conflict error: %v", err)
+	}
+}

@@ -14,9 +14,10 @@
 //   - the experiment harness that regenerates every table and figure of
 //     the paper (Experiments, RunExperiment);
 //   - engine controls for both (WithParallel, WithShards, WithCacheDir,
-//     WithProgress): suite runs fan (benchmark × shard) work items over
-//     a bounded worker pool and can be cached on disk so repeated runs
-//     are incremental.
+//     WithStreamCache, WithProgress): suite runs fan (benchmark × shard)
+//     work items over a bounded worker pool, read each benchmark's
+//     stream from a shared once-per-run materialization, and can be
+//     cached on disk so repeated runs are incremental.
 //
 // Quick start:
 //
@@ -115,10 +116,11 @@ func Simulate(p Predictor, b Benchmark, budget int) Result {
 type Option func(*engineOptions)
 
 type engineOptions struct {
-	parallel int
-	shards   int
-	cacheDir string
-	progress io.Writer
+	parallel  int
+	shards    int
+	cacheDir  string
+	streamMem int64
+	progress  io.Writer
 }
 
 // WithParallel bounds concurrent shard simulations (default:
@@ -134,6 +136,15 @@ func WithShards(n int) Option { return func(o *engineOptions) { o.shards = n } }
 // WithCacheDir backs the run with a content-addressed on-disk result
 // store rooted at dir, so repeated identical runs are incremental.
 func WithCacheDir(dir string) Option { return func(o *engineOptions) { o.cacheDir = dir } }
+
+// WithStreamCache bounds the resident memory of materialized benchmark
+// streams (each benchmark's record stream is generated once per run
+// and shared across shards and configurations; see DESIGN.md §6).
+// 0 selects the default bound; a negative value disables
+// materialization so every shard regenerates its stream prefix.
+func WithStreamCache(maxBytes int64) Option {
+	return func(o *engineOptions) { o.streamMem = maxBytes }
+}
 
 // WithProgress streams per-suite progress lines (with cache
 // accounting) to w while an experiment runs.
@@ -159,7 +170,9 @@ func SimulateSuite(config, suite string, budget int, opts ...Option) (SuiteRun, 
 		return SuiteRun{}, err
 	}
 	o := applyOptions(opts)
-	engine := sim.NewEngine(sim.EngineConfig{Workers: o.parallel, Shards: o.shards, CacheDir: o.cacheDir})
+	engine := sim.NewEngine(sim.EngineConfig{
+		Workers: o.parallel, Shards: o.shards, CacheDir: o.cacheDir, StreamMemory: o.streamMem,
+	})
 	builder := func() Predictor { return predictor.MustNew(config) }
 	return engine.RunSuite(builder, config, suite, benches, budget), nil
 }
@@ -220,11 +233,12 @@ func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, err
 	}
 	o := applyOptions(opts)
 	r := experiments.NewRunner(experiments.Params{
-		Budget:   budget,
-		Parallel: o.parallel,
-		Shards:   o.shards,
-		CacheDir: o.cacheDir,
-		Progress: o.progress,
+		Budget:       budget,
+		Parallel:     o.parallel,
+		Shards:       o.shards,
+		CacheDir:     o.cacheDir,
+		StreamMemory: o.streamMem,
+		Progress:     o.progress,
 	})
 	return e.Run(r), nil
 }

@@ -38,6 +38,10 @@ type Params struct {
 	// content-addressed on-disk result store so repeated experiment
 	// runs (and CI) only simulate what changed.
 	CacheDir string
+	// StreamMemory bounds the resident memory of materialized
+	// benchmark streams (DESIGN.md §6): 0 means the default bound,
+	// <0 disables materialization.
+	StreamMemory int64
 }
 
 // DefaultParams runs the full-size evaluation.
@@ -66,8 +70,10 @@ func NewRunner(p Params) *Runner {
 		p.Budget = DefaultParams().Budget
 	}
 	return &Runner{
-		params:  p,
-		engine:  sim.NewEngine(sim.EngineConfig{Workers: p.Parallel, Shards: p.Shards, CacheDir: p.CacheDir}),
+		params: p,
+		engine: sim.NewEngine(sim.EngineConfig{
+			Workers: p.Parallel, Shards: p.Shards, CacheDir: p.CacheDir, StreamMemory: p.StreamMemory,
+		}),
 		suites:  workload.Suites(),
 		cache:   map[string]sim.SuiteRun{},
 		started: map[string]chan struct{}{},

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,10 +13,11 @@ import (
 )
 
 // EngineVersion participates in every store key. Bump it whenever the
-// simulator, the workload generators, or a predictor implementation
-// changes in a way that alters simulated counters, so stale cache
-// entries can never be returned.
-const EngineVersion = 1
+// simulator, the workload generators, a predictor implementation, or
+// the store-key encoding changes in a way that alters simulated
+// counters or their addressing, so stale cache entries can never be
+// returned. Version 2: unambiguous (JSON) store-key encoding.
+const EngineVersion = 2
 
 // DefaultShardWarmup is the functional warm-up length (in branch
 // records) a shard trains on before its measured segment when the
@@ -44,6 +47,14 @@ type EngineConfig struct {
 	// nil and the string is non-empty — the common case for callers
 	// plumbing a -cache-dir flag.
 	CacheDir string
+	// Streams, when non-nil, is the materialized-stream cache shards
+	// read from; sharing one cache across engines shares the streams.
+	Streams *workload.StreamCache
+	// StreamMemory sizes the private stream cache built when Streams
+	// is nil: 0 means workload.DefaultStreamMemory, <0 disables
+	// materialization entirely so every shard regenerates its stream
+	// prefix (the pre-stream-layer behaviour; see DESIGN.md §6).
+	StreamMemory int64
 }
 
 // EngineStats counts what an engine did across its lifetime.
@@ -63,6 +74,7 @@ type Engine struct {
 	shards    int
 	warmup    int
 	store     *Store
+	streams   *workload.StreamCache
 	simulated atomic.Uint64
 	hits      atomic.Uint64
 }
@@ -84,11 +96,39 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Store == nil && cfg.CacheDir != "" {
 		cfg.Store = OpenStore(cfg.CacheDir)
 	}
-	return &Engine{workers: cfg.Workers, shards: cfg.Shards, warmup: cfg.Warmup, store: cfg.Store}
+	if cfg.Streams == nil && cfg.StreamMemory >= 0 {
+		// Private stream cache; when the engine has an on-disk result
+		// store, spill materialized streams next to it so later
+		// processes reload instead of regenerating. The spill lives
+		// under a per-EngineVersion directory: the same bump that
+		// invalidates stale results also orphans stale streams, so a
+		// generator change can never resurrect pre-change records.
+		spill := ""
+		if cfg.Store != nil && cfg.Store.Dir() != "" {
+			spill = filepath.Join(cfg.Store.Dir(), "streams", fmt.Sprintf("v%d", EngineVersion))
+		}
+		cfg.Streams = workload.NewStreamCache(cfg.StreamMemory, spill)
+	}
+	return &Engine{workers: cfg.Workers, shards: cfg.Shards, warmup: cfg.Warmup, store: cfg.Store, streams: cfg.Streams}
+}
+
+// StreamMemoryFromMiB maps a MiB-denominated -stream-mem flag value
+// onto EngineConfig.StreamMemory, preserving its 0 = default /
+// negative = disable convention. Shared by the CLIs so the convention
+// lives in one place.
+func StreamMemoryFromMiB(mib int) int64 {
+	if mib < 0 {
+		return -1
+	}
+	return int64(mib) << 20
 }
 
 // Shards returns the per-benchmark shard count.
 func (e *Engine) Shards() int { return e.shards }
+
+// Streams returns the engine's materialized-stream cache, or nil when
+// materialization is disabled.
+func (e *Engine) Streams() *workload.StreamCache { return e.streams }
 
 // Stats returns cumulative work counters.
 func (e *Engine) Stats() EngineStats {
@@ -150,10 +190,13 @@ func (e *Engine) RunSuite(builder func() predictor.Predictor, name, suite string
 }
 
 // runShard serves one work item, from the store when possible. A
-// shard regenerates the stream prefix up to the end of its segment
-// (generation is cheap and deterministic), discards records before its
+// shard reads its window of the benchmark's materialized stream
+// (generated once per (trace, seed, budget) and shared across shards
+// and configurations; see DESIGN.md §6), discards records before its
 // warm-up window, trains unmeasured through the window, and measures
-// its segment.
+// its segment. When materialization is disabled or the stream exceeds
+// the cache's memory bound, the shard falls back to regenerating the
+// stream prefix up to its segment end through the callback path.
 func (e *Engine) runShard(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget, shard int) (Result, bool) {
 	key := Key{
 		Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
@@ -178,9 +221,22 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 		measureEnd = noLimit
 	}
 	p := builder()
-	res := feedSpan(p, b.Name, warmStart, start, measureEnd, func(emit func(trace.Record)) {
-		b.Generate(end, emit)
-	})
+	var res Result
+	var stream *workload.Stream
+	if e.streams != nil {
+		stream = e.streams.Get(b, budget)
+	}
+	if stream != nil {
+		// The materialized stream is the full Generate(budget) output
+		// including the episode-granular overshoot, so an unsharded
+		// run's unbounded window clamps to the identical record set a
+		// plain Feed would see.
+		res = feedRecords(p, b.Name, stream.Records(), warmStart, start, measureEnd)
+	} else {
+		res = feedSpan(p, b.Name, warmStart, start, measureEnd, func(emit func(trace.Record)) {
+			b.Generate(end, emit)
+		})
+	}
 	e.simulated.Add(1)
 	if e.store != nil {
 		// Best-effort: a full disk or read-only cache directory must

@@ -136,6 +136,92 @@ func TestEngineWarmupKeysCache(t *testing.T) {
 	}
 }
 
+// TestStreamMaterializedOncePerSuiteRun is the stream layer's headline
+// regression test: a Shards:8 suite run must generate each benchmark's
+// stream exactly once — not once per shard — and merge to results
+// identical to the regenerate path (which is bit-equivalent, both
+// feeding the same window of the same deterministic stream).
+func TestStreamMaterializedOncePerSuiteRun(t *testing.T) {
+	benches := workload.CBP4()[:4]
+	const budget, shards = 20000, 8
+
+	sc := workload.NewStreamCache(0, "")
+	run := NewEngine(EngineConfig{Shards: shards, Streams: sc}).
+		RunSuite(builderFor("gshare"), "gshare", "cbp4", benches, budget)
+	st := sc.Stats()
+	if st.Generated != uint64(len(benches)) {
+		t.Errorf("generated %d streams for %d benchmarks × %d shards, want exactly one per benchmark",
+			st.Generated, len(benches), shards)
+	}
+	if want := uint64((shards - 1) * len(benches)); st.Hits != want {
+		t.Errorf("stream hits = %d, want %d (every other shard served from the materialization)", st.Hits, want)
+	}
+
+	ref := NewEngine(EngineConfig{Shards: shards, StreamMemory: -1}).
+		RunSuite(builderFor("gshare"), "gshare", "cbp4", benches, budget)
+	for i := range run.Results {
+		if run.Results[i] != ref.Results[i] {
+			t.Errorf("%s: materialized %+v != regenerated %+v",
+				run.Results[i].Trace, run.Results[i], ref.Results[i])
+		}
+	}
+}
+
+// TestStreamSharedAcrossConfigs pins the -all-configs batch property:
+// one engine running k configurations still generates each stream once.
+func TestStreamSharedAcrossConfigs(t *testing.T) {
+	benches := workload.CBP4()[:3]
+	sc := workload.NewStreamCache(0, "")
+	e := NewEngine(EngineConfig{Shards: 4, Streams: sc})
+	for _, cfg := range []string{"gshare", "bimodal", "gehl"} {
+		e.RunSuite(builderFor(cfg), cfg, "cbp4", benches, 6000)
+	}
+	if g := sc.Stats().Generated; g != uint64(len(benches)) {
+		t.Errorf("3 configs × %d benchmarks generated %d streams, want %d", len(benches), g, len(benches))
+	}
+}
+
+// TestEngineDefaultMaterializes checks the zero-value EngineConfig gets
+// a stream cache (materialization is the default data path).
+func TestEngineDefaultMaterializes(t *testing.T) {
+	if NewEngine(EngineConfig{}).Streams() == nil {
+		t.Error("default engine has no stream cache")
+	}
+	if NewEngine(EngineConfig{StreamMemory: -1}).Streams() != nil {
+		t.Error("StreamMemory<0 did not disable materialization")
+	}
+}
+
+// TestEngineShardsExceedBudget: zero-length shards (more shards than
+// budget records) must not skew merged counters, labels, or the
+// RanShards accounting — on either data path.
+func TestEngineShardsExceedBudget(t *testing.T) {
+	benches := workload.CBP4()[:2]
+	const budget, shards = 5, 8
+	for _, streamMem := range []int64{0, -1} {
+		run := NewEngine(EngineConfig{Shards: shards, StreamMemory: streamMem}).
+			RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, budget)
+		if run.RanShards != shards*len(benches) || run.CachedShards != 0 {
+			t.Errorf("streamMem=%d: accounting = %d ran / %d cached, want %d ran",
+				streamMem, run.RanShards, run.CachedShards, shards*len(benches))
+		}
+		for _, res := range run.Results {
+			if res.Records != budget {
+				t.Errorf("streamMem=%d %s: merged records = %d, want %d", streamMem, res.Trace, res.Records, budget)
+			}
+			if res.Trace == "" || res.Predictor == "" {
+				t.Errorf("streamMem=%d: zero-length shards clobbered labels: %+v", streamMem, res)
+			}
+			if res.Instructions == 0 {
+				t.Errorf("streamMem=%d %s: no instructions accounted", streamMem, res.Trace)
+			}
+			if mpki := res.MPKI(); mpki < 0 || mpki != mpki {
+				t.Errorf("streamMem=%d %s: MPKI = %v", streamMem, res.Trace, mpki)
+			}
+		}
+	}
+}
+
 func TestMergeShards(t *testing.T) {
 	parts := []Result{
 		{Trace: "t", Predictor: "p", Instructions: 1000, Records: 100, Conditionals: 80, Mispredicted: 8},

@@ -69,24 +69,54 @@ func feedSpan(p predictor.Predictor, name string, warmStart, start, end int, gen
 		if i < warmStart || i >= end {
 			return
 		}
-		measured := i >= start
-		if measured {
-			res.Records++
-			res.Instructions += r.Instructions()
-		}
-		if r.Conditional() {
-			pred := p.Predict(r.PC)
-			if measured {
-				res.Conditionals++
-				if pred != r.Taken {
-					res.Mispredicted++
-				}
-			}
-			p.Train(r.PC, r.Target, r.Taken)
-		} else {
-			p.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
-		}
+		feedOne(p, &res, r, i >= start)
 	})
+	return res
+}
+
+// feedOne feeds one record to the predictor, accumulating counters
+// into res when the record is measured (warm-up records train but do
+// not count). It is the single per-record body shared by the
+// streaming (feedSpan) and materialized (feedRecords) paths, so the
+// two can never diverge.
+func feedOne(p predictor.Predictor, res *Result, r trace.Record, measured bool) {
+	if measured {
+		res.Records++
+		res.Instructions += r.Instructions()
+	}
+	if r.Conditional() {
+		pred := p.Predict(r.PC)
+		if measured {
+			res.Conditionals++
+			if pred != r.Taken {
+				res.Mispredicted++
+			}
+		}
+		p.Train(r.PC, r.Target, r.Taken)
+	} else {
+		p.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
+	}
+}
+
+// feedRecords is feedSpan over a materialized stream: it pulls records
+// straight from the read-only slice a workload.StreamCache handed out,
+// with the window clamped to the slice. Record i of the slice plays
+// the role of stream position i, so feedRecords(p, name, recs,
+// warmStart, start, end) produces the exact counters
+// feedSpan(p, name, warmStart, start, end, gen) would when gen emits
+// recs in order. The callback path stays for true streaming sources
+// (RunReader, oversized streams the cache declines to materialize).
+func feedRecords(p predictor.Predictor, name string, recs []trace.Record, warmStart, start, end int) Result {
+	res := Result{Trace: name, Predictor: p.Name()}
+	if warmStart < 0 {
+		warmStart = 0
+	}
+	if end > len(recs) {
+		end = len(recs)
+	}
+	for i := warmStart; i < end; i++ {
+		feedOne(p, &res, recs[i], i >= start)
+	}
 	return res
 }
 

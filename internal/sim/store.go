@@ -29,11 +29,19 @@ type Key struct {
 }
 
 // id returns the content address: a hex SHA-256 of the canonical key
-// encoding.
+// encoding. The encoding is the key's JSON form — every string field
+// is quoted and escaped, so no two distinct keys share an encoding.
+// (A naive separator-joined encoding was ambiguous: config "a|b" with
+// suite "c" collided with config "a", suite "b|c", letting one entry
+// overwrite an unrelated one. EngineVersion 2 invalidated the old
+// addresses.)
 func (k Key) id() string {
-	s := fmt.Sprintf("v%d|%s|%s|%s|%d|%d|%d/%d|w%d",
-		k.Engine, k.Config, k.Suite, k.Trace, k.Budget, k.Seed, k.Shard, k.Shards, k.Warmup)
-	sum := sha256.Sum256([]byte(s))
+	s, err := json.Marshal(k)
+	if err != nil {
+		// A Key is a struct of ints and strings; Marshal cannot fail.
+		panic(fmt.Sprintf("sim: key encoding: %v", err))
+	}
+	sum := sha256.Sum256(s)
 	return hex.EncodeToString(sum[:])
 }
 
@@ -104,5 +112,12 @@ func (s *Store) Save(k Key, r Result) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), p)
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		// Don't strand the temp file: a rename that fails (destination
+		// became a directory, cross-mount surprises, ...) would
+		// otherwise leave .tmp-* litter accumulating in the cache.
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -56,6 +57,60 @@ func TestStoreKeySensitivity(t *testing.T) {
 			t.Errorf("variants %d and %d share id %s", prev, i, id)
 		}
 		seen[id] = i
+	}
+}
+
+func TestStoreKeyEncodingUnambiguous(t *testing.T) {
+	// The old '|'-joined encoding collided these two keys, letting one
+	// entry overwrite the other's file. The canonical encoding must
+	// keep field boundaries.
+	a := testKey()
+	a.Config, a.Suite = "a|b", "c"
+	b := testKey()
+	b.Config, b.Suite = "a", "b|c"
+	if a.id() == b.id() {
+		t.Fatalf("ambiguous key encoding: %+v and %+v share id %s", a, b, a.id())
+	}
+
+	s := OpenStore(t.TempDir())
+	resA := Result{Trace: "MM-4", Mispredicted: 1}
+	resB := Result{Trace: "MM-4", Mispredicted: 2}
+	if err := s.Save(a, resA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(b, resB); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load(a); !ok || got != resA {
+		t.Errorf("key a clobbered: %+v, %v", got, ok)
+	}
+	if got, ok := s.Load(b); !ok || got != resB {
+		t.Errorf("key b clobbered: %+v, %v", got, ok)
+	}
+}
+
+func TestStoreSaveCleansUpTempOnRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	s := OpenStore(dir)
+	k := testKey()
+	// Make the destination path un-renameable-over: a directory where
+	// the entry file should go. (chmod tricks don't work under root,
+	// and tests may run as root in CI containers.)
+	p := s.path(k)
+	if err := os.MkdirAll(p, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(k, Result{Trace: "MM-4"}); err == nil {
+		t.Fatal("Save over a directory succeeded")
+	}
+	ents, err := os.ReadDir(filepath.Dir(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("orphaned temp file %s left after failed rename", e.Name())
+		}
 	}
 }
 

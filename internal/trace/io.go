@@ -21,6 +21,10 @@ const (
 	magic         = "IMLT"
 	formatVersion = 1
 
+	// maxNameLen bounds the header name field symmetrically: NewWriter
+	// rejects names NewReader would refuse to read back.
+	maxNameLen = 1 << 16
+
 	flagTaken     = 1 << 3
 	flagPCNeg     = 1 << 4
 	flagTargetNeg = 1 << 5
@@ -38,8 +42,13 @@ type Writer struct {
 }
 
 // NewWriter writes a trace header for the named trace and returns a
-// Writer. Call Flush when done.
+// Writer. Call Flush when done. Names longer than the format's limit
+// are rejected up front — the package must never produce a file its
+// own Reader cannot parse.
 func NewWriter(w io.Writer, name string) (*Writer, error) {
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("%w: name length %d exceeds %d", ErrBadFormat, len(name), maxNameLen)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return nil, err
@@ -116,7 +125,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: name length: %v", ErrBadFormat, err)
 	}
-	if nameLen > 1<<16 {
+	if nameLen > maxNameLen {
 		return nil, fmt.Errorf("%w: absurd name length %d", ErrBadFormat, nameLen)
 	}
 	name := make([]byte, nameLen)

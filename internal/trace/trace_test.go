@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"strings"
@@ -239,6 +240,138 @@ func TestReaderTruncatedRecord(t *testing.T) {
 	}
 	if _, err := r.Read(); err == nil || err == io.EOF {
 		t.Errorf("truncated record not rejected: %v", err)
+	}
+}
+
+func TestWriterRejectsUnreadableName(t *testing.T) {
+	// NewWriter must refuse names NewReader would reject — the package
+	// cannot be allowed to produce files it cannot read back.
+	_, err := NewWriter(io.Discard, strings.Repeat("x", maxNameLen+1))
+	if err == nil {
+		t.Fatal("oversized name accepted")
+	}
+	if !errors.Is(err, ErrBadFormat) {
+		t.Errorf("error %v does not wrap ErrBadFormat", err)
+	}
+
+	// The boundary length passes through both sides.
+	name := strings.Repeat("n", maxNameLen)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != name {
+		t.Error("boundary-length name mangled")
+	}
+}
+
+// TestRoundTripAdversarialDeltas pins the codec on the delta encodings
+// a generator never emits but an arbitrary Record can: backward
+// targets across the whole address space, wrap-around PC deltas
+// (distance > 2^63, including exactly 2^63), and zero/max addresses.
+func TestRoundTripAdversarialDeltas(t *testing.T) {
+	recs := []Record{
+		{PC: 0, Target: ^uint64(0), Kind: CondDirect, Taken: true, InstrGap: 255},
+		{PC: ^uint64(0), Target: 0, Kind: CondDirect},               // max backward target, wrap PC delta
+		{PC: 0, Target: 0, Kind: Return, Taken: true},               // wrap back down
+		{PC: 1 << 63, Target: 1<<63 - 1, Kind: CondDirect},          // backward by one at the sign boundary
+		{PC: 5, Target: 5 + 1<<63, Kind: UncondDirect, Taken: true}, // target delta exactly 2^63
+		{PC: 5 + 1<<63, Target: 5, Kind: CondDirect, Taken: true},   // PC delta exactly 2^63
+		{PC: 1, Target: 1<<63 + 2, Kind: Indirect, Taken: true},     // delta > 2^63 (wraps int64)
+		{PC: 42, Target: 42, Kind: CondDirect},                      // self-target: neither fwd nor back
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "adversarial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d of %d records", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestRoundTripPropertyRawAddresses drives the codec with uniformly
+// random 64-bit PCs and targets — unlike randomRecords, these are not
+// locality-friendly, so every sign/wrap combination of the delta
+// encoding gets exercised.
+func TestRoundTripPropertyRawAddresses(t *testing.T) {
+	f := func(pcs, targets []uint64, taken []bool) bool {
+		n := len(pcs)
+		if len(targets) < n {
+			n = len(targets)
+		}
+		if len(taken) < n {
+			n = len(taken)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{
+				PC:       pcs[i],
+				Target:   targets[i],
+				Kind:     Kind(pcs[i] % uint64(numKinds)),
+				Taken:    taken[i],
+				InstrGap: uint8(targets[i]),
+			}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "raw")
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if w.Write(r) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := rd.ReadAll()
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
 	}
 }
 
