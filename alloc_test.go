@@ -1,0 +1,53 @@
+// Steady-state allocation gate for the predict/train hot path. The
+// flattened history layer (hist.FoldedBank, DESIGN.md §7) makes the
+// whole per-branch round-trip allocation-free once a predictor is
+// warmed up; this test locks that in for every registry configuration
+// and is run as a dedicated CI step.
+package imli_test
+
+import (
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestPredictTrainZeroAlloc drives every registry configuration over a
+// multi-kernel record stream and requires zero heap allocations per
+// branch in steady state.
+func TestPredictTrainZeroAlloc(t *testing.T) {
+	bench, err := workload.ByName("SPEC2K6-12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.Record
+	bench.Generate(4096, func(r trace.Record) { recs = append(recs, r) })
+
+	for _, config := range predictor.Names() {
+		p := predictor.MustNew(config)
+		feed := func(r trace.Record) {
+			if r.Conditional() {
+				p.Predict(r.PC)
+				p.Train(r.PC, r.Target, r.Taken)
+			} else {
+				p.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
+			}
+		}
+		// Warm up: TAGE allocation churn, loop/wormhole entry
+		// allocation and table growth all happen against fixed
+		// pre-sized storage, but give every component a full pass
+		// before measuring anyway.
+		for _, r := range recs {
+			feed(r)
+		}
+		i := 0
+		avg := testing.AllocsPerRun(2000, func() {
+			feed(recs[i%len(recs)])
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s: %v allocs per branch in steady state, want 0", config, avg)
+		}
+	}
+}

@@ -118,7 +118,9 @@ func BenchmarkScaling(b *testing.B) {
 // --- predictor throughput microbenchmarks -----------------------------
 
 // benchPredictor measures end-to-end predict+train cost per branch on a
-// representative hard benchmark.
+// representative hard benchmark. It reports allocations: the
+// predict/train round-trip is required to be allocation-free in steady
+// state (see TestPredictTrainZeroAlloc and the CI alloc gate).
 func benchPredictor(b *testing.B, config string) {
 	b.Helper()
 	bench, err := workload.ByName("SPEC2K6-12")
@@ -127,11 +129,15 @@ func benchPredictor(b *testing.B, config string) {
 	}
 	var recs []trace.Record
 	bench.Generate(1<<16, func(r trace.Record) { recs = append(recs, r) })
+	// Generators emit whole episodes, so the stream overshoots the
+	// requested budget; wrap at the actual length.
+	n := len(recs)
 	p := predictor.MustNew(config)
+	b.ReportAllocs()
 	b.ResetTimer()
 	miss := 0
 	for i := 0; i < b.N; i++ {
-		r := recs[i&(1<<16-1)]
+		r := recs[i%n]
 		if r.Conditional() {
 			if p.Predict(r.PC) != r.Taken {
 				miss++

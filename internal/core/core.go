@@ -107,16 +107,16 @@ func NewSIC(cfg SICConfig, imli *IMLI) *SIC {
 	return &SIC{imli: imli, ctr: make([]int8, n), mask: uint64(n - 1), bits: cfg.CtrBits}
 }
 
-func (s *SIC) index(pc uint64) uint64 {
-	return (num.Mix(pc>>2) ^ num.Mix(uint64(s.imli.Count()))) & s.mask
+func (s *SIC) index(ctx neural.Ctx) uint64 {
+	return (ctx.PCHash() ^ num.Mix(uint64(s.imli.Count()))) & s.mask
 }
 
 // Vote implements neural.Component.
-func (s *SIC) Vote(ctx neural.Ctx) int { return num.Centered(s.ctr[s.index(ctx.PC)]) }
+func (s *SIC) Vote(ctx neural.Ctx) int { return num.Centered(s.ctr[s.index(ctx)]) }
 
 // Train implements neural.Component.
 func (s *SIC) Train(ctx neural.Ctx, taken bool) {
-	i := s.index(ctx.PC)
+	i := s.index(ctx)
 	s.ctr[i] = num.SatUpdate(s.ctr[i], taken, s.bits)
 }
 
@@ -215,19 +215,20 @@ func (o *OH) histIndex(pc uint64) uint32 {
 	return uint32(o.slot(pc))*o.iterSlots + (o.imli.Count() & o.iterMask)
 }
 
-func (o *OH) index(pc uint64) uint64 {
+func (o *OH) index(ctx neural.Ctx) uint64 {
+	pc := ctx.PC
 	b := o.slot(pc)
 	outPrevSame := uint64(o.hist[o.histIndex(pc)]) // Out[N-1][M]
 	outPrevPrev := uint64((o.pipe >> uint(b)) & 1) // Out[N-1][M-1]
-	return (num.Mix(pc>>2)<<2 ^ outPrevSame<<1 ^ outPrevPrev) & o.ctrMask
+	return (ctx.PCHash()<<2 ^ outPrevSame<<1 ^ outPrevPrev) & o.ctrMask
 }
 
 // Vote implements neural.Component.
-func (o *OH) Vote(ctx neural.Ctx) int { return num.Centered(o.ctr[o.index(ctx.PC)]) }
+func (o *OH) Vote(ctx neural.Ctx) int { return num.Centered(o.ctr[o.index(ctx)]) }
 
 // Train implements neural.Component.
 func (o *OH) Train(ctx neural.Ctx, taken bool) {
-	i := o.index(ctx.PC)
+	i := o.index(ctx)
 	o.ctr[i] = num.SatUpdate(o.ctr[i], taken, o.bits)
 }
 

@@ -96,9 +96,9 @@ func TestSICLearnsSameIterationPattern(t *testing.T) {
 func TestSICIndexUsesCounter(t *testing.T) {
 	m := NewIMLI()
 	sic := NewSIC(DefaultSICConfig(), m)
-	i0 := sic.index(0x4040)
+	i0 := sic.index(neural.MakeCtx(0x4040, false))
 	m.Observe(0x1000, 0x0f00, true)
-	i1 := sic.index(0x4040)
+	i1 := sic.index(neural.MakeCtx(0x4040, false))
 	if i0 == i1 {
 		t.Error("SIC index ignores the IMLI counter")
 	}

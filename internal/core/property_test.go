@@ -52,7 +52,7 @@ func TestOHIndexBounds(t *testing.T) {
 			m.Observe(0x1000, 0x0f00, true)
 		}
 		hi := oh.histIndex(pc)
-		pi := oh.index(pc)
+		pi := oh.index(neural.MakeCtx(pc, false))
 		if int(hi) >= len(oh.hist) || pi >= uint64(len(oh.ctr)) {
 			return false
 		}
@@ -74,7 +74,7 @@ func TestSICIndexBounds(t *testing.T) {
 		for i := 0; i < int(ticks%1100); i++ {
 			m.Observe(0x1000, 0x0f00, true)
 		}
-		ok := sic.index(pc) < uint64(len(sic.ctr))
+		ok := sic.index(neural.MakeCtx(pc, false)) < uint64(len(sic.ctr))
 		m.Observe(0x1000, 0x0f00, false)
 		return ok
 	}

@@ -46,22 +46,31 @@ func DefaultConfig() Config {
 }
 
 // Predictor is a GEHL predictor. It reads the shared speculative
-// global history and path history; the owner must update the folded
-// registers (FoldedRegisters) after each history push.
+// global history and path history; its folded history registers live
+// in a hist.FoldedBank the owner must Push after each history push.
 type Predictor struct {
 	cfg    Config
 	tree   *neural.Tree
 	tables []*neural.GlobalTable
+	bank   *hist.FoldedBank
 
-	lastSum int // state between Predict and Update
+	// state between Predict and Update
+	lastSum int
+	lastCtx neural.Ctx
 }
 
-// New returns a GEHL predictor over the shared histories.
-func New(cfg Config, g *hist.Global, path *hist.Path) *Predictor {
-	p := &Predictor{cfg: cfg}
+// New returns a GEHL predictor over the shared path history,
+// allocating its folded global-history registers in bank. A nil bank
+// gets a private one (standalone use); retrieve it with Bank and Push
+// it after every history push.
+func New(cfg Config, path *hist.Path, bank *hist.FoldedBank) *Predictor {
+	if bank == nil {
+		bank = hist.NewFoldedBank()
+	}
+	p := &Predictor{cfg: cfg, bank: bank}
 	lens := Lengths(cfg)
 	for i, l := range lens {
-		t := neural.NewGlobalTable(tableName(i), cfg.Entries, cfg.CtrBits, l, g, path)
+		t := neural.NewGlobalTable(tableName(i), cfg.Entries, cfg.CtrBits, l, path, bank)
 		p.tables = append(p.tables, t)
 	}
 	comps := make([]neural.Component, len(p.tables))
@@ -104,24 +113,20 @@ func Lengths(cfg Config) []int {
 // local history) before use.
 func (p *Predictor) Tree() *neural.Tree { return p.tree }
 
-// FoldedRegisters returns the folded history registers of all global
-// tables for per-branch maintenance by the owner.
-func (p *Predictor) FoldedRegisters() []*hist.Folded {
-	out := make([]*hist.Folded, 0, len(p.tables))
-	for _, t := range p.tables {
-		out = append(out, t.Folded())
-	}
-	return out
-}
+// Bank returns the folded-history bank holding this predictor's
+// registers; the owner must Push it after every global history push.
+func (p *Predictor) Bank() *hist.FoldedBank { return p.bank }
 
 // Tables returns the global-history tables (for configuration, e.g.
 // inserting the IMLI counter into some indices).
 func (p *Predictor) Tables() []*neural.GlobalTable { return p.tables }
 
 // Predict returns the predicted direction for pc. Must be followed by
-// Update for the same pc before the next Predict.
+// Update for the same pc before the next Predict. The PC is mixed once
+// here; the stored context serves both the vote and the train pass.
 func (p *Predictor) Predict(pc uint64) bool {
-	p.lastSum = p.tree.Sum(neural.Ctx{PC: pc})
+	p.lastCtx = neural.MakeCtx(pc, false)
+	p.lastSum = p.tree.Sum(p.lastCtx)
 	return p.lastSum >= 0
 }
 
@@ -129,9 +134,12 @@ func (p *Predictor) Predict(pc uint64) bool {
 // confidence inspection).
 func (p *Predictor) Sum() int { return p.lastSum }
 
-// Update trains the predictor with the resolved outcome.
-func (p *Predictor) Update(pc uint64, taken bool) {
-	p.tree.Train(neural.Ctx{PC: pc}, taken, p.lastSum)
+// Update trains the predictor with the resolved outcome of the branch
+// passed to the immediately preceding Predict, whose stored context
+// and sum drive the training (the blank parameter keeps the
+// pc-threading call shape of the other predictors).
+func (p *Predictor) Update(_ uint64, taken bool) {
+	p.tree.Train(p.lastCtx, taken, p.lastSum)
 }
 
 // StorageBits returns the predictor storage cost.

@@ -11,14 +11,13 @@ type harness struct {
 	p    *Predictor
 	g    *hist.Global
 	path *hist.Path
-	fr   []*hist.Folded
 }
 
 func newHarness(cfg Config) *harness {
 	g := hist.NewGlobal(2048)
 	path := hist.NewPath(32)
-	p := New(cfg, g, path)
-	return &harness{p: p, g: g, path: path, fr: p.FoldedRegisters()}
+	p := New(cfg, path, nil)
+	return &harness{p: p, g: g, path: path}
 }
 
 func smallConfig() Config {
@@ -30,9 +29,7 @@ func (h *harness) step(pc uint64, taken bool) bool {
 	h.p.Update(pc, taken)
 	h.g.Push(taken)
 	h.path.Push(pc)
-	for _, f := range h.fr {
-		f.Update(h.g)
-	}
+	h.p.Bank().Push(h.g)
 	return pred
 }
 
@@ -55,7 +52,7 @@ func TestLengthsSeries(t *testing.T) {
 }
 
 func TestPaperStorageBudget(t *testing.T) {
-	p := New(DefaultConfig(), hist.NewGlobal(2048), hist.NewPath(32))
+	p := New(DefaultConfig(), hist.NewPath(32), nil)
 	kbits := p.StorageBits() / 1024
 	// Paper: 17 tables x 2K x 6b = 204 Kbits.
 	if kbits != 204 {
@@ -121,7 +118,7 @@ func TestSumExposed(t *testing.T) {
 }
 
 func TestTreeAccess(t *testing.T) {
-	p := New(smallConfig(), hist.NewGlobal(256), nil)
+	p := New(smallConfig(), nil, nil)
 	if p.Tree() == nil || len(p.Tables()) != 6 {
 		t.Error("tree/tables accessors broken")
 	}

@@ -1,0 +1,140 @@
+package hist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFoldedBankMatchesFolded: a bank register and a reference Folded
+// with the same geometry stay bit-equal under arbitrary push
+// sequences, including degenerate geometries (histLen 0, width 1,
+// histLen < width, histLen a multiple of width).
+func TestFoldedBankMatchesFolded(t *testing.T) {
+	geoms := []struct{ histLen, width int }{
+		{0, 7}, {1, 1}, {3, 8}, {8, 8}, {11, 4}, {16, 9}, {27, 9},
+		{37, 11}, {64, 10}, {130, 13}, {640, 10}, {31, 32}, {40, 32},
+	}
+	g := NewGlobal(2048)
+	bank := NewFoldedBank()
+	var refs []FoldedRef
+	var folds []*Folded
+	for _, geo := range geoms {
+		refs = append(refs, bank.Add(geo.histLen, geo.width))
+		folds = append(folds, NewFolded(geo.histLen, geo.width))
+	}
+	rng := uint64(0x1234567)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		g.Push(rng>>33&1 == 1)
+		bank.Push(g)
+		for j, f := range folds {
+			f.Update(g)
+			if bank.Value(refs[j]) != f.Value() {
+				t.Fatalf("step %d: register %d (histLen=%d width=%d): bank=%#x folded=%#x",
+					i, j, geoms[j].histLen, geoms[j].width, bank.Value(refs[j]), f.Value())
+			}
+		}
+	}
+}
+
+// TestFoldedBankRestoreProperty: under random push/checkpoint/
+// wrong-path/restore sequences, a bank register re-derived with
+// ResetAll equals the non-incremental Fold of the restored global
+// history — and continues to track the incremental reference after
+// the restore.
+func TestFoldedBankRestoreProperty(t *testing.T) {
+	type op struct {
+		Bit       bool
+		WrongPath uint8 // wrong-path pushes injected then repaired
+		Restore   bool
+	}
+	f := func(ops []op) bool {
+		g := NewGlobal(1024)
+		bank := NewFoldedBank()
+		// Adjacent equal histLens exercise the shared oldest-bit fetch;
+		// the trailing distinct ones exercise group boundaries.
+		geoms := []struct{ histLen, width int }{
+			{37, 11}, {37, 10}, {37, 5}, {64, 9}, {64, 8}, {13, 6}, {0, 4}, {200, 12},
+		}
+		var refs []FoldedRef
+		var folds []*Folded
+		for _, geo := range geoms {
+			refs = append(refs, bank.Add(geo.histLen, geo.width))
+			folds = append(folds, NewFolded(geo.histLen, geo.width))
+		}
+		push := func(bit bool) {
+			g.Push(bit)
+			bank.Push(g)
+			for _, fd := range folds {
+				fd.Update(g)
+			}
+		}
+		for _, o := range ops {
+			if o.Restore {
+				cp := g.Checkpoint()
+				for i := 0; i < int(o.WrongPath%5)+1; i++ {
+					push(i%2 == 0)
+				}
+				g.Restore(cp)
+				bank.ResetAll(g)
+				for _, fd := range folds {
+					fd.Reset(g)
+				}
+			}
+			push(o.Bit)
+			for j := range refs {
+				if bank.Value(refs[j]) != folds[j].Value() {
+					return false
+				}
+				if want := Fold(g, geoms[j].histLen, geoms[j].width); bank.Value(refs[j]) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldedBankAccessors covers the metadata accessors and group
+// construction rules.
+func TestFoldedBankAccessors(t *testing.T) {
+	b := NewFoldedBank()
+	r1 := b.Add(37, 11)
+	r2 := b.Add(37, 10)
+	r3 := b.Add(64, 9)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if b.HistLen(r1) != 37 || b.Width(r1) != 11 {
+		t.Errorf("r1 geometry = (%d,%d), want (37,11)", b.HistLen(r1), b.Width(r1))
+	}
+	if b.HistLen(r2) != 37 || b.Width(r2) != 10 {
+		t.Errorf("r2 geometry = (%d,%d), want (37,10)", b.HistLen(r2), b.Width(r2))
+	}
+	if b.HistLen(r3) != 64 {
+		t.Errorf("r3 histLen = %d, want 64", b.HistLen(r3))
+	}
+	if len(b.groups) != 2 {
+		t.Errorf("groups = %d, want 2 (37-run and 64-run)", len(b.groups))
+	}
+	if len(b.Values()) != 3 {
+		t.Errorf("Values length = %d, want 3", len(b.Values()))
+	}
+}
+
+// TestFoldedBankAddPanics mirrors NewFolded's validation.
+func TestFoldedBankAddPanics(t *testing.T) {
+	for _, c := range []struct{ histLen, width int }{{10, 0}, {10, 33}, {-1, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d,%d) did not panic", c.histLen, c.width)
+				}
+			}()
+			NewFoldedBank().Add(c.histLen, c.width)
+		}()
+	}
+}

@@ -13,9 +13,14 @@ import "fmt"
 // append speculatively; commit advances the commit pointer; a
 // misprediction is repaired by restoring the speculative pointer from a
 // checkpoint (see Checkpoint/Restore).
+//
+// Storage is a word-addressed bitset — one history bit per bit, not
+// per byte — so the ~40 folded-register fetches per simulated branch
+// stay within a couple of cache lines and Bit is a branch-free
+// shift/mask.
 type Global struct {
-	bits    []byte
-	mask    uint32 // len(bits)-1
+	words   []uint64
+	mask    uint32 // capacity-1 (capacity in bits, a power of two)
 	specPtr uint32 // next write position (speculative head)
 	commit  uint32 // commit head
 }
@@ -30,27 +35,31 @@ func NewGlobal(capacity int) *Global {
 	for n < capacity {
 		n <<= 1
 	}
-	return &Global{bits: make([]byte, n), mask: uint32(n - 1)}
+	return &Global{words: make([]uint64, (n+63)/64), mask: uint32(n - 1)}
 }
 
 // Push appends one outcome at the speculative head.
 func (g *Global) Push(taken bool) {
-	var b byte
+	var b uint64
 	if taken {
 		b = 1
 	}
-	g.bits[g.specPtr&g.mask] = b
+	i := g.specPtr & g.mask
+	w := &g.words[i>>6]
+	sh := i & 63
+	*w = *w&^(1<<sh) | b<<sh
 	g.specPtr++
 }
 
 // Bit returns the outcome i positions back from the speculative head;
-// Bit(0) is the most recently pushed outcome.
+// Bit(0) is the most recently pushed outcome. The fetch is branch-free.
 func (g *Global) Bit(i int) byte {
-	return g.bits[(g.specPtr-1-uint32(i))&g.mask]
+	j := (g.specPtr - 1 - uint32(i)) & g.mask
+	return byte(g.words[j>>6] >> (j & 63) & 1)
 }
 
 // Len returns the buffer capacity in bits.
-func (g *Global) Len() int { return len(g.bits) }
+func (g *Global) Len() int { return int(g.mask) + 1 }
 
 // Commit advances the commit head by n outcomes (branches retiring).
 func (g *Global) Commit(n int) { g.commit += uint32(n) }
@@ -79,14 +88,14 @@ func (g *Global) Restore(c GlobalCheckpoint) { g.specPtr = c.SpecPtr }
 // the speculative state needs: log2 of the buffer size.
 func (g *Global) CheckpointBits() int {
 	n := 0
-	for c := len(g.bits); c > 1; c >>= 1 {
+	for c := g.Len(); c > 1; c >>= 1 {
 		n++
 	}
 	return n
 }
 
 func (g *Global) String() string {
-	return fmt.Sprintf("Global{cap=%d spec=%d commit=%d}", len(g.bits), g.specPtr, g.commit)
+	return fmt.Sprintf("Global{cap=%d spec=%d commit=%d}", g.Len(), g.specPtr, g.commit)
 }
 
 // Path is the global path history: low-order target/PC address bits of

@@ -137,17 +137,17 @@ type Table struct {
 	source  func(pc uint64) uint64
 }
 
-func (t *Table) index(pc uint64) uint64 {
-	h := t.source(pc) & ((1 << uint(t.histLen)) - 1)
-	return (num.Mix(pc>>2) ^ num.Mix(h*0x9E3779B97F4A7C15+uint64(t.histLen))) & t.mask
+func (t *Table) index(ctx neural.Ctx) uint64 {
+	h := t.source(ctx.PC) & ((1 << uint(t.histLen)) - 1)
+	return (ctx.PCHash() ^ num.Mix(h*0x9E3779B97F4A7C15+uint64(t.histLen))) & t.mask
 }
 
 // Vote implements neural.Component.
-func (t *Table) Vote(ctx neural.Ctx) int { return num.Centered(t.ctr[t.index(ctx.PC)]) }
+func (t *Table) Vote(ctx neural.Ctx) int { return num.Centered(t.ctr[t.index(ctx)]) }
 
 // Train implements neural.Component.
 func (t *Table) Train(ctx neural.Ctx, taken bool) {
-	i := t.index(ctx.PC)
+	i := t.index(ctx)
 	t.ctr[i] = num.SatUpdate(t.ctr[i], taken, t.bits)
 }
 

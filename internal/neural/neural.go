@@ -14,9 +14,29 @@ import (
 type Ctx struct {
 	// PC is the branch address.
 	PC uint64
+	// PCMix caches num.Mix(PC>>2) so the PC is mixed once per branch
+	// instead of once per component table. Fill it with MakeCtx (or
+	// from tage.Prediction.PCMix); components read it via PCHash.
+	PCMix uint64
 	// TagePred is the main TAGE prediction, used by the statistical
 	// corrector's bias tables. False when there is no TAGE component.
 	TagePred bool
+}
+
+// MakeCtx returns a Ctx for pc with the PC hash precomputed.
+func MakeCtx(pc uint64, tagePred bool) Ctx {
+	return Ctx{PC: pc, PCMix: num.Mix(pc >> 2), TagePred: tagePred}
+}
+
+// PCHash returns the mixed PC. A zero PCMix falls back to mixing on
+// the spot, which is exact: num.Mix is a bijection, so PCMix is zero
+// only when it was never filled in or when PC>>2 == 0 — and in both
+// cases num.Mix(PC>>2) is the correct value.
+func (c Ctx) PCHash() uint64 {
+	if c.PCMix != 0 {
+		return c.PCMix
+	}
+	return num.Mix(c.PC >> 2)
 }
 
 // Component is one table (or table group) contributing a signed,
@@ -123,14 +143,16 @@ func (t *Tree) StorageBits() int {
 
 // GlobalTable is a component indexed by a hash of the PC and a folded
 // global history of a fixed length — the building block of GEHL and of
-// the global part of the statistical corrector.
+// the global part of the statistical corrector. Its folded register
+// lives in a hist.FoldedBank the owner pushes once per branch.
 type GlobalTable struct {
 	name    string
 	ctr     []int8
 	mask    uint64
 	ctrBits int
 	histLen int
-	fold    *hist.Folded
+	bank    *hist.FoldedBank
+	fold    hist.FoldedRef
 	path    *hist.Path
 	// extraIndex, when non-nil, contributes additional bits to the
 	// index hash. The paper's "inserting the IMLI counter in the
@@ -141,16 +163,23 @@ type GlobalTable struct {
 
 // NewGlobalTable returns a global-history component with entries
 // counters (rounded to a power of two) of ctrBits bits, indexed with
-// histLen bits of g folded down to the index width.
-func NewGlobalTable(name string, entries, ctrBits, histLen int, g *hist.Global, path *hist.Path) *GlobalTable {
+// histLen bits of global history folded down to the index width. The
+// folded register is allocated in bank; a nil bank gets a private one
+// (standalone use) — retrieve it with Bank and Push it after every
+// global history push.
+func NewGlobalTable(name string, entries, ctrBits, histLen int, path *hist.Path, bank *hist.FoldedBank) *GlobalTable {
 	n := num.Pow2Ceil(entries)
+	if bank == nil {
+		bank = hist.NewFoldedBank()
+	}
 	return &GlobalTable{
 		name:    name,
 		ctr:     make([]int8, n),
 		mask:    uint64(n - 1),
 		ctrBits: ctrBits,
 		histLen: histLen,
-		fold:    hist.NewFolded(histLen, num.Log2(n)),
+		bank:    bank,
+		fold:    bank.Add(histLen, num.Log2(n)),
 		path:    path,
 	}
 }
@@ -159,15 +188,14 @@ func NewGlobalTable(name string, entries, ctrBits, histLen int, g *hist.Global, 
 // counter).
 func (t *GlobalTable) SetExtraIndex(f func() uint64) { t.extraIndex = f }
 
-// Folded exposes the folded register so the owning predictor can
-// register it for per-branch updates.
-func (t *GlobalTable) Folded() *hist.Folded { return t.fold }
+// Bank returns the folded-history bank holding this table's register.
+func (t *GlobalTable) Bank() *hist.FoldedBank { return t.bank }
 
 // HistLen returns the history length the table is indexed with.
 func (t *GlobalTable) HistLen() int { return t.histLen }
 
 func (t *GlobalTable) index(ctx Ctx) uint64 {
-	h := num.Mix(ctx.PC>>2) ^ uint64(t.fold.Value())
+	h := ctx.PCHash() ^ uint64(t.bank.Value(t.fold))
 	if t.path != nil {
 		pathBits := t.histLen
 		if pathBits > 16 {
@@ -219,7 +247,12 @@ func (t *BiasTable) index(ctx Ctx) uint64 {
 	if ctx.TagePred {
 		b = 1
 	}
-	return (num.Mix((ctx.PC>>2)^t.skew)<<1 | b) & t.mask
+	// An unskewed table's hash is exactly the shared PC mix.
+	h := ctx.PCMix
+	if t.skew != 0 || h == 0 {
+		h = num.Mix((ctx.PC >> 2) ^ t.skew)
+	}
+	return (h<<1 | b) & t.mask
 }
 
 // Vote implements Component; the bias tables vote with double weight,

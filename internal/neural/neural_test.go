@@ -91,11 +91,11 @@ func TestTreeAdd(t *testing.T) {
 func TestGlobalTableLearns(t *testing.T) {
 	g := hist.NewGlobal(256)
 	path := hist.NewPath(16)
-	tbl := NewGlobalTable("t", 1024, 6, 8, g, path)
+	tbl := NewGlobalTable("t", 1024, 6, 8, path, nil)
 	push := func(b bool, pc uint64) {
 		g.Push(b)
 		path.Push(pc)
-		tbl.Folded().Update(g)
+		tbl.Bank().Push(g)
 	}
 	// Outcome of branch B = outcome 1 step back (history-correlated).
 	rng := rand.New(rand.NewSource(3))
@@ -120,8 +120,7 @@ func TestGlobalTableLearns(t *testing.T) {
 }
 
 func TestGlobalTableExtraIndex(t *testing.T) {
-	g := hist.NewGlobal(64)
-	tbl := NewGlobalTable("t", 256, 6, 4, g, nil)
+	tbl := NewGlobalTable("t", 256, 6, 4, nil, nil)
 	ctx := Ctx{PC: 0x40}
 	base := tbl.index(ctx)
 	extra := uint64(0)
@@ -165,8 +164,7 @@ func TestBiasTableDoubleWeight(t *testing.T) {
 }
 
 func TestTreeStorageIncludesComponents(t *testing.T) {
-	g := hist.NewGlobal(64)
-	tbl := NewGlobalTable("t", 512, 6, 4, g, nil)
+	tbl := NewGlobalTable("t", 512, 6, 4, nil, nil)
 	tree := NewTree(5, tbl)
 	if tree.StorageBits() < tbl.StorageBits() {
 		t.Error("tree storage must include component storage")

@@ -71,9 +71,11 @@ type Options struct {
 type Composite struct {
 	opts Options
 
-	g      *hist.Global
-	path   *hist.Path
-	folded []*hist.Folded
+	g    *hist.Global
+	path *hist.Path
+	// bank holds every folded history register of every component in
+	// one contiguous block, advanced by a single Push per branch.
+	bank *hist.FoldedBank
 
 	// base predictors (exactly one non-nil)
 	tage *tage.Predictor
@@ -103,6 +105,7 @@ func NewComposite(opts Options) *Composite {
 	c := &Composite{opts: opts}
 	c.g = hist.NewGlobal(2048)
 	c.path = hist.NewPath(32)
+	c.bank = hist.NewFoldedBank()
 
 	imliNeeded := opts.IMLISIC || opts.IMLIOH || opts.IMLIIndexInsert
 	if imliNeeded {
@@ -150,10 +153,8 @@ func NewComposite(opts Options) *Composite {
 		if opts.SCCfg != nil {
 			scfg = *opts.SCCfg
 		}
-		c.tage = tage.New(tcfg, c.g, c.path)
-		c.gsc = sc.New(scfg, c.g, c.path)
-		c.folded = append(c.folded, c.tage.FoldedRegisters()...)
-		c.folded = append(c.folded, c.gsc.FoldedRegisters()...)
+		c.tage = tage.New(tcfg, c.g, c.path, c.bank)
+		c.gsc = sc.New(scfg, c.path, c.bank)
 		tree := c.gsc.Tree()
 		if c.sic != nil {
 			tree.Add(c.sic)
@@ -178,8 +179,7 @@ func NewComposite(opts Options) *Composite {
 		if opts.GEHLCfg != nil {
 			gcfg = *opts.GEHLCfg
 		}
-		c.gehl = gehl.New(gcfg, c.g, c.path)
-		c.folded = append(c.folded, c.gehl.FoldedRegisters()...)
+		c.gehl = gehl.New(gcfg, c.path, c.bank)
 		tree := c.gehl.Tree()
 		if c.sic != nil {
 			tree.Add(c.sic)
@@ -259,9 +259,7 @@ func (c *Composite) TrackOther(pc, target uint64, kind trace.Kind, taken bool) {
 func (c *Composite) pushHistory(bit bool, pc uint64) {
 	c.g.Push(bit)
 	c.path.Push(pc)
-	for _, f := range c.folded {
-		f.Update(c.g)
-	}
+	c.bank.Push(c.g)
 }
 
 // StorageBits implements Predictor.

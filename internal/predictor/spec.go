@@ -42,9 +42,7 @@ func (c *Composite) SpecRestore(s SpecState) {
 	if c.oh != nil {
 		c.oh.RestorePipe(s.Pipe)
 	}
-	for _, f := range c.folded {
-		f.Reset(c.g)
-	}
+	c.bank.ResetAll(c.g)
 }
 
 // SpecPush performs the history-side update of one conditional branch

@@ -15,11 +15,11 @@ func TestCorrectorNoiseTolerance(t *testing.T) {
 	run := func(withNoise bool) int {
 		g := hist.NewGlobal(1024)
 		path := hist.NewPath(32)
-		c := New(DefaultConfig(), g, path)
+		bank := hist.NewFoldedBank()
+		c := New(DefaultConfig(), path, bank)
 		if withNoise {
 			c.Tree().Add(noiseComp{})
 		}
-		fr := c.FoldedRegisters()
 		miss := 0
 		// A branch TAGE predicts perfectly.
 		for i := 0; i < 4000; i++ {
@@ -31,9 +31,7 @@ func TestCorrectorNoiseTolerance(t *testing.T) {
 			c.Update(taken)
 			g.Push(taken)
 			path.Push(0x40)
-			for _, f := range fr {
-				f.Update(g)
-			}
+			bank.Push(g)
 		}
 		return miss
 	}

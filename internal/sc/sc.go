@@ -58,14 +58,20 @@ type Corrector struct {
 	lastCtx neural.Ctx
 }
 
-// New returns a corrector over the shared histories.
-func New(cfg Config, g *hist.Global, path *hist.Path) *Corrector {
+// New returns a corrector over the shared path history, allocating
+// its folded global-history registers in bank. A nil bank gets a
+// private one (standalone use); retrieve it from any global table's
+// Bank and Push it after every history push.
+func New(cfg Config, path *hist.Path, bank *hist.FoldedBank) *Corrector {
 	c := &Corrector{cfg: cfg}
+	if bank == nil {
+		bank = hist.NewFoldedBank()
+	}
 	bias := neural.NewBiasTable("gsc-bias", cfg.BiasEntries, cfg.CtrBits, 0)
 	biasSK := neural.NewBiasTable("gsc-bias-sk", cfg.BiasEntries, cfg.CtrBits, 0xfeedface)
 	comps := []neural.Component{bias, biasSK}
 	for i, h := range cfg.GlobalHists {
-		t := neural.NewGlobalTable("gsc-g"+string(rune('0'+i)), cfg.GlobalEntries, cfg.CtrBits, h, g, path)
+		t := neural.NewGlobalTable("gsc-g"+string(rune('0'+i)), cfg.GlobalEntries, cfg.CtrBits, h, path, bank)
 		c.globals = append(c.globals, t)
 		comps = append(comps, t)
 	}
@@ -81,15 +87,6 @@ func (c *Corrector) Tree() *neural.Tree { return c.tree }
 // paper's §4.2 refinement inserts the IMLI counter into the indices of
 // two of them.
 func (c *Corrector) GlobalTables() []*neural.GlobalTable { return c.globals }
-
-// FoldedRegisters returns folded registers for per-branch maintenance.
-func (c *Corrector) FoldedRegisters() []*hist.Folded {
-	out := make([]*hist.Folded, 0, len(c.globals))
-	for _, t := range c.globals {
-		out = append(out, t.Folded())
-	}
-	return out
-}
 
 func (c *Corrector) tageVote(pred tage.Prediction) int {
 	var w int
@@ -109,9 +106,10 @@ func (c *Corrector) tageVote(pred tage.Prediction) int {
 
 // Predict combines the TAGE prediction with the corrector components
 // and returns the final direction. Must be followed by Update for the
-// same branch.
+// same branch. The PC hash computed by the TAGE Predict travels in
+// tagePred.PCMix so the corrector's tables reuse it.
 func (c *Corrector) Predict(pc uint64, tagePred tage.Prediction) bool {
-	c.lastCtx = neural.Ctx{PC: pc, TagePred: tagePred.Taken}
+	c.lastCtx = neural.Ctx{PC: pc, PCMix: tagePred.PCMix, TagePred: tagePred.Taken}
 	c.lastSum = c.tree.Sum(c.lastCtx) + c.tageVote(tagePred)
 	return c.lastSum >= 0
 }

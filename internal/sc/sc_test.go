@@ -8,11 +8,12 @@ import (
 	"repro/internal/tage"
 )
 
-func newSC() (*Corrector, *hist.Global, *hist.Path, []*hist.Folded) {
+func newSC() (*Corrector, *hist.Global, *hist.Path, *hist.FoldedBank) {
 	g := hist.NewGlobal(1024)
 	path := hist.NewPath(32)
-	c := New(DefaultConfig(), g, path)
-	return c, g, path, c.FoldedRegisters()
+	bank := hist.NewFoldedBank()
+	c := New(DefaultConfig(), path, bank)
+	return c, g, path, bank
 }
 
 func tagePred(taken bool, conf tage.Confidence) tage.Prediction {
@@ -34,7 +35,7 @@ func TestAgreesWithConfidentTageByDefault(t *testing.T) {
 func TestRevertsStatisticallyWrongTage(t *testing.T) {
 	// TAGE keeps predicting taken with low confidence while the branch
 	// is always not-taken; the corrector must learn to revert.
-	c, g, path, fr := newSC()
+	c, g, path, bank := newSC()
 	pc := uint64(0x80)
 	reverted := false
 	for i := 0; i < 600; i++ {
@@ -42,9 +43,7 @@ func TestRevertsStatisticallyWrongTage(t *testing.T) {
 		c.Update(false)
 		g.Push(false)
 		path.Push(pc)
-		for _, f := range fr {
-			f.Update(g)
-		}
+		bank.Push(g)
 		if i > 100 && !pred {
 			reverted = true
 		}
@@ -58,7 +57,7 @@ func TestHighConfidenceHarderToRevert(t *testing.T) {
 	// Count how many updates the corrector needs before it reverts a
 	// high-confidence vs a low-confidence TAGE prediction.
 	flipPoint := func(conf tage.Confidence) int {
-		c, g, path, fr := newSC()
+		c, g, path, bank := newSC()
 		pc := uint64(0x100)
 		for i := 0; i < 2000; i++ {
 			pred := c.Predict(pc, tagePred(true, conf))
@@ -68,9 +67,7 @@ func TestHighConfidenceHarderToRevert(t *testing.T) {
 			c.Update(false)
 			g.Push(false)
 			path.Push(pc)
-			for _, f := range fr {
-				f.Update(g)
-			}
+			bank.Push(g)
 		}
 		return 2000
 	}

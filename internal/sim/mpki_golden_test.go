@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenBudget keeps the cross-config sweep fast while still
+// exercising TAGE allocation, the loop predictor, wormhole, local
+// history and the IMLI components.
+const goldenBudget = 12000
+
+// goldenBenches picks benchmarks that cover the distinct correlation
+// kernels (same-iteration, previous-outer-diagonal, inverted-outer,
+// call/return noise) so a history-layer regression in any component
+// shifts at least one count.
+func goldenBenches(t *testing.T) []workload.Benchmark {
+	t.Helper()
+	names := []string{"SPEC2K6-04", "SPEC2K6-12", "MM-4", "SERVER-1", "CLIENT02"}
+	var out []workload.Benchmark
+	for _, n := range names {
+		b, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// goldenCount is the exact simulation outcome of one (config, trace)
+// pair; integer counts rather than float MPKI so "bit-identical" is
+// literal.
+type goldenCount struct {
+	Config       string `json:"config"`
+	Trace        string `json:"trace"`
+	Instructions uint64 `json:"instructions"`
+	Conditionals uint64 `json:"conditionals"`
+	Mispredicted uint64 `json:"mispredicted"`
+}
+
+// TestMPKIBitIdentityAllConfigs locks the exact mispredict counts of
+// every registry configuration over a quick multi-kernel suite. The
+// goldens were captured before the flattened-history-bank refactor
+// (hist.FoldedBank, packed hist.Global, hoisted PC hashing); any
+// change in predictor arithmetic — however small — fails this test.
+// Regenerate deliberately with: go test ./internal/sim -run
+// MPKIBitIdentity -update
+func TestMPKIBitIdentityAllConfigs(t *testing.T) {
+	benches := goldenBenches(t)
+	configs := predictor.Names()
+	sort.Strings(configs)
+
+	var got []goldenCount
+	for _, cfg := range configs {
+		run, err := RunSuite(cfg, "golden", benches, goldenBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range run.Results {
+			got = append(got, goldenCount{
+				Config:       cfg,
+				Trace:        r.Trace,
+				Instructions: r.Instructions,
+				Conditionals: r.Conditionals,
+				Mispredicted: r.Mispredicted,
+			})
+		}
+	}
+
+	path := filepath.Join("testdata", "mpki_golden.json")
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	var want []goldenCount
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	wantByKey := make(map[[2]string]goldenCount, len(want))
+	for _, w := range want {
+		wantByKey[[2]string{w.Config, w.Trace}] = w
+	}
+	if len(got) != len(want) {
+		t.Errorf("result count %d, golden has %d", len(got), len(want))
+	}
+	for _, g := range got {
+		w, ok := wantByKey[[2]string{g.Config, g.Trace}]
+		if !ok {
+			t.Errorf("%s/%s: not in golden file (new config? regenerate with -update)", g.Config, g.Trace)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s/%s: counts diverged from pre-refactor golden:\n got  %+v\n want %+v",
+				g.Config, g.Trace, g, w)
+		}
+	}
+}

@@ -76,9 +76,10 @@ type table struct {
 	tagBits  int
 	tagMask  uint16
 	histLen  int
-	foldIdx  *hist.Folded
-	foldTag1 *hist.Folded
-	foldTag2 *hist.Folded
+	pathBits int // min(histLen, 16), hoisted out of the index hash
+	foldIdx  hist.FoldedRef
+	foldTag1 hist.FoldedRef
+	foldTag2 hist.FoldedRef
 }
 
 // Prediction is the full TAGE prediction output.
@@ -87,6 +88,10 @@ type Prediction struct {
 	Taken bool
 	// Conf is the provider counter confidence.
 	Conf Confidence
+	// PCMix is num.Mix(pc>>2), computed once per Predict and exported
+	// so downstream consumers of the same branch (the statistical
+	// corrector) reuse it instead of re-mixing the PC.
+	PCMix uint64
 	// provider bookkeeping used by Update
 	hitBank  int // 0 = bimodal, 1..N = tagged table
 	altBank  int
@@ -96,13 +101,16 @@ type Prediction struct {
 }
 
 // Predictor is a TAGE predictor. It reads (but does not own) the
-// shared speculative global history and path history.
+// shared speculative global history and path history. Its folded
+// history registers live in a hist.FoldedBank — shared with the rest
+// of a composed predictor — that the owner must Push once per branch.
 type Predictor struct {
 	cfg    Config
 	base   *bimodal.Table
-	tables []*table
+	tables []table
 	g      *hist.Global
 	path   *hist.Path
+	bank   *hist.FoldedBank
 	rng    *num.Rand
 
 	useAltOnNA int8 // chooser between provider and alt on weak entries
@@ -114,16 +122,23 @@ type Predictor struct {
 	tags    []uint16
 }
 
-// New returns a TAGE predictor over the shared histories g and path.
-func New(cfg Config, g *hist.Global, path *hist.Path) *Predictor {
+// New returns a TAGE predictor over the shared histories g and path,
+// allocating its folded history registers in bank. A nil bank gets a
+// private one (standalone use); retrieve it with Bank and Push it
+// after every history push.
+func New(cfg Config, g *hist.Global, path *hist.Path, bank *hist.FoldedBank) *Predictor {
 	if cfg.NumTables <= 0 {
 		panic("tage: need at least one tagged table")
+	}
+	if bank == nil {
+		bank = hist.NewFoldedBank()
 	}
 	p := &Predictor{
 		cfg:  cfg,
 		base: bimodal.New(1<<cfg.BimodalLog, 2),
 		g:    g,
 		path: path,
+		bank: bank,
 		rng:  num.NewRand(0x7a9e),
 	}
 	lens := geometricLengths(cfg.MinHist, cfg.MaxHist, cfg.NumTables)
@@ -131,17 +146,21 @@ func New(cfg Config, g *hist.Global, path *hist.Path) *Predictor {
 		logE := pick(cfg.LogEntries, i)
 		tagBits := pick(cfg.TagBits, i)
 		n := 1 << logE
-		t := &table{
+		pb := lens[i]
+		if pb > 16 {
+			pb = 16
+		}
+		p.tables = append(p.tables, table{
 			entries:  make([]taggedEntry, n),
 			mask:     uint64(n - 1),
 			tagBits:  tagBits,
 			tagMask:  uint16((1 << tagBits) - 1),
 			histLen:  lens[i],
-			foldIdx:  hist.NewFolded(lens[i], logE),
-			foldTag1: hist.NewFolded(lens[i], tagBits),
-			foldTag2: hist.NewFolded(lens[i], tagBits-1),
-		}
-		p.tables = append(p.tables, t)
+			pathBits: pb,
+			foldIdx:  bank.Add(lens[i], logE),
+			foldTag1: bank.Add(lens[i], tagBits),
+			foldTag2: bank.Add(lens[i], tagBits-1),
+		})
 	}
 	p.indices = make([]uint64, cfg.NumTables)
 	p.tags = make([]uint16, cfg.NumTables)
@@ -180,48 +199,47 @@ func geometricLengths(min, max, n int) []int {
 // tests).
 func (p *Predictor) HistoryLengths() []int {
 	out := make([]int, len(p.tables))
-	for i, t := range p.tables {
-		out[i] = t.histLen
+	for i := range p.tables {
+		out[i] = p.tables[i].histLen
 	}
 	return out
 }
 
-// FoldedRegisters returns every folded history register so the owning
-// composed predictor can update them on each branch.
-func (p *Predictor) FoldedRegisters() []*hist.Folded {
-	var out []*hist.Folded
-	for _, t := range p.tables {
-		out = append(out, t.foldIdx, t.foldTag1, t.foldTag2)
-	}
-	return out
-}
-
-func (t *table) index(pc uint64, path *hist.Path) uint64 {
-	h := num.Mix(pc>>2) ^ uint64(t.foldIdx.Value())
-	if path != nil {
-		pb := t.histLen
-		if pb > 16 {
-			pb = 16
-		}
-		h ^= num.Mix(path.Value() & ((1 << uint(pb)) - 1))
-	}
-	return h & t.mask
-}
-
-func (t *table) tag(pc uint64) uint16 {
-	h := num.Mix(pc>>2) >> 7
-	tg := uint16(h) ^ uint16(t.foldTag1.Value()) ^ uint16(t.foldTag2.Value()<<1)
-	return tg & t.tagMask
-}
+// Bank returns the folded-history bank holding this predictor's
+// registers. The owner must call Bank().Push(g) after every global
+// history push (the composite predictor shares one bank across all of
+// its components and pushes it once per branch).
+func (p *Predictor) Bank() *hist.FoldedBank { return p.bank }
 
 // Predict computes the TAGE prediction for pc. The returned Prediction
 // must be passed back to Update once the branch resolves, before the
 // next Predict (the predictor reuses internal index scratch space).
 func (p *Predictor) Predict(pc uint64) Prediction {
-	pr := Prediction{hitBank: 0, altBank: 0}
-	for i, t := range p.tables {
-		p.indices[i] = t.index(pc, p.path)
-		p.tags[i] = t.tag(pc)
+	// The PC is mixed once per branch; the per-table index and tag
+	// hashes both derive from pcMix, and the path-history mix is
+	// computed once per distinct pathBits (the history-length cap of 16
+	// makes the long-history tables share one value).
+	pcMix := num.Mix(pc >> 2)
+	pr := Prediction{hitBank: 0, altBank: 0, PCMix: pcMix}
+	tagHigh := uint16(pcMix >> 7)
+	var pv, pathMix uint64
+	if p.path != nil {
+		pv = p.path.Value()
+	}
+	prevPB := -1
+	folds := p.bank.Values()
+	for i := range p.tables {
+		t := &p.tables[i]
+		h := pcMix ^ uint64(folds[t.foldIdx])
+		if p.path != nil {
+			if t.pathBits != prevPB {
+				pathMix = num.Mix(pv & (1<<uint(t.pathBits) - 1))
+				prevPB = t.pathBits
+			}
+			h ^= pathMix
+		}
+		p.indices[i] = h & t.mask
+		p.tags[i] = (tagHigh ^ uint16(folds[t.foldTag1]) ^ uint16(folds[t.foldTag2]<<1)) & t.tagMask
 	}
 	basePred := p.base.Predict(pc)
 	pr.altPred = basePred
@@ -381,7 +399,8 @@ func (p *Predictor) allocate(pr Prediction, taken bool) {
 func (p *Predictor) gracefulReset() {
 	clearMSB := (p.tick/p.cfg.ResetPeriod)%2 == 0
 	msb := uint8(1 << (p.cfg.UBits - 1))
-	for _, t := range p.tables {
+	for i := range p.tables {
+		t := &p.tables[i]
 		for j := range t.entries {
 			if clearMSB {
 				t.entries[j].u &^= msb
@@ -395,7 +414,8 @@ func (p *Predictor) gracefulReset() {
 // StorageBits returns the predictor storage cost.
 func (p *Predictor) StorageBits() int {
 	bits := p.base.StorageBits()
-	for _, t := range p.tables {
+	for i := range p.tables {
+		t := &p.tables[i]
 		perEntry := p.cfg.CtrBits + t.tagBits + p.cfg.UBits
 		bits += len(t.entries) * perEntry
 	}

@@ -13,14 +13,13 @@ type harness struct {
 	p    *Predictor
 	g    *hist.Global
 	path *hist.Path
-	fr   []*hist.Folded
 }
 
 func newHarness(cfg Config) *harness {
 	g := hist.NewGlobal(2048)
 	path := hist.NewPath(32)
-	p := New(cfg, g, path)
-	return &harness{p: p, g: g, path: path, fr: p.FoldedRegisters()}
+	p := New(cfg, g, path, nil)
+	return &harness{p: p, g: g, path: path}
 }
 
 func (h *harness) step(pc uint64, taken bool) bool {
@@ -28,9 +27,7 @@ func (h *harness) step(pc uint64, taken bool) bool {
 	h.p.Update(pc, taken, pr)
 	h.g.Push(taken)
 	h.path.Push(pc)
-	for _, f := range h.fr {
-		f.Update(h.g)
-	}
+	h.p.Bank().Push(h.g)
 	return pr.Taken
 }
 
@@ -150,7 +147,7 @@ func TestConfidenceLevels(t *testing.T) {
 
 func TestStorageBitsBreakdown(t *testing.T) {
 	cfg := smallConfig()
-	p := New(cfg, hist.NewGlobal(256), hist.NewPath(16))
+	p := New(cfg, hist.NewGlobal(256), hist.NewPath(16), nil)
 	want := 1<<10*2 + 4 // bimodal + use_alt_on_na
 	for i := 0; i < cfg.NumTables; i++ {
 		want += 1 << 8 * (3 + 9 + 2)
@@ -161,7 +158,7 @@ func TestStorageBitsBreakdown(t *testing.T) {
 }
 
 func TestHistoryLengthsExposed(t *testing.T) {
-	p := New(smallConfig(), hist.NewGlobal(256), hist.NewPath(16))
+	p := New(smallConfig(), hist.NewGlobal(256), hist.NewPath(16), nil)
 	lens := p.HistoryLengths()
 	if len(lens) != 6 || lens[0] != 2 || lens[5] != 64 {
 		t.Errorf("HistoryLengths = %v", lens)
@@ -169,8 +166,8 @@ func TestHistoryLengthsExposed(t *testing.T) {
 }
 
 func TestFoldedRegistersCount(t *testing.T) {
-	p := New(smallConfig(), hist.NewGlobal(256), hist.NewPath(16))
-	if got := len(p.FoldedRegisters()); got != 6*3 {
+	p := New(smallConfig(), hist.NewGlobal(256), hist.NewPath(16), nil)
+	if got := p.Bank().Len(); got != 6*3 {
 		t.Errorf("folded registers = %d, want 18 (3 per table)", got)
 	}
 }
@@ -181,7 +178,7 @@ func TestPanicsWithoutTables(t *testing.T) {
 			t.Error("zero tables accepted")
 		}
 	}()
-	New(Config{}, hist.NewGlobal(64), nil)
+	New(Config{}, hist.NewGlobal(64), nil, nil)
 }
 
 func TestDeterministic(t *testing.T) {
