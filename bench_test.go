@@ -220,6 +220,40 @@ func BenchmarkEngineSharded8RegenerateTAGE(b *testing.B) {
 	benchEngineSharded(b, "tage-gsc+imli", -1)
 }
 
+// benchBudgetSweep measures an ascending branch-budget sweep
+// (25K→200K, the paper's §4 scaling shape) of one configuration over
+// one benchmark. With snapshots disabled every budget re-trains from
+// record 0 (sum(budgets) ≈ 375K records of simulation); with the
+// snapshot layer each budget resumes from the previous one's end
+// snapshot (max(budget) ≈ 200K records). The before/after numbers are
+// recorded in BENCH_sim.json.
+func benchBudgetSweep(b *testing.B, snapshots bool) {
+	b.Helper()
+	benches := workload.CBP4()[:1]
+	budgets := []int{25000, 50000, 100000, 200000}
+	const config = "tage-sc-l+imli"
+	for i := 0; i < b.N; i++ {
+		cfg := sim.EngineConfig{}
+		if snapshots {
+			cfg.Snapshots = true
+			cfg.CacheDir = b.TempDir()
+		}
+		e := sim.NewEngine(cfg)
+		var last sim.SuiteRun
+		for _, budget := range budgets {
+			last = e.RunSuite(func() predictor.Predictor { return predictor.MustNew(config) },
+				config, "cbp4", benches, budget)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(last.AvgMPKI(), "MPKI")
+			b.ReportMetric(float64(e.Stats().RecordsSimulated), "records")
+		}
+	}
+}
+
+func BenchmarkBudgetSweepCold(b *testing.B)   { benchBudgetSweep(b, false) }
+func BenchmarkBudgetSweepResume(b *testing.B) { benchBudgetSweep(b, true) }
+
 // BenchmarkStreamMaterialization isolates the one-time cost of
 // materializing a stream versus generating it through a callback.
 func BenchmarkStreamMaterialization(b *testing.B) {

@@ -42,6 +42,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	shards := fs.Int("shards", 1, "shards per benchmark")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
 	streamMem := fs.Int("stream-mem", 0, "materialized-stream cache size in MiB (0 = default, negative disables)")
+	snapshots := fs.Bool("snapshots", false, "persist predictor-state snapshots and resume longer-budget runs from cached prefixes (needs -cache-dir)")
+	exactShards := fs.Bool("exact-shards", false, "chain shard boundary snapshots so sharded results are bit-identical to unsharded runs")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	quiet := fs.Bool("q", false, "suppress per-suite progress lines")
 	if err := fs.Parse(argv); err != nil {
@@ -64,6 +66,8 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		Shards:       *shards,
 		CacheDir:     *cacheDir,
 		StreamMemory: sim.StreamMemoryFromMiB(*streamMem),
+		Snapshots:    *snapshots,
+		ExactShards:  *exactShards,
 	}
 	if !*quiet {
 		params.Progress = stderr
@@ -89,8 +93,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "==== %s — %s ====\n\n%s\n(%.1fs)\n\n",
 			rep.ID, e.Title, rep.Text, time.Since(start).Seconds())
 	}
-	if st := runner.EngineStats(); st.CacheHits > 0 && !*quiet {
-		fmt.Fprintf(stderr, "engine: %d shards simulated, %d served from cache\n", st.Simulated, st.CacheHits)
+	if st := runner.EngineStats(); (st.CacheHits > 0 || st.Resumed > 0) && !*quiet {
+		fmt.Fprintf(stderr, "engine: %d shards simulated, %d served from cache, %d resumed from snapshots\n",
+			st.Simulated, st.CacheHits, st.Resumed)
 	}
 	return nil
 }

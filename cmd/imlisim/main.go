@@ -5,7 +5,12 @@
 // -cache-dir makes repeated runs incremental via the on-disk result
 // store. Each benchmark's record stream is materialized once per run
 // and shared across shards and configurations; -stream-mem bounds the
-// resident memory of those streams.
+// resident memory of those streams. -snapshots additionally persists
+// full predictor state at run boundaries so a later, longer-budget run
+// of the same configuration resumes from the cached prefix instead of
+// record 0; -exact-shards chains those snapshots across shard
+// boundaries so sharded results are bit-identical to unsharded runs;
+// -cache-prune deletes entries stranded by engine-version bumps.
 //
 // Usage:
 //
@@ -13,6 +18,8 @@
 //	imlisim -predictor=gehl -bench=SPEC2K6-12 -branches=500000
 //	imlisim -predictor=tage-gsc -trace=out/SPEC2K6-12.imlt
 //	imlisim -suite=cbp4 -all-configs -shards=4 -cache-dir=.imli-cache
+//	imlisim -suite=cbp4 -branches=200000 -snapshots -cache-dir=.imli-cache
+//	imlisim -cache-dir=.imli-cache -cache-prune
 //	imlisim -predictors            # list configurations
 package main
 
@@ -50,6 +57,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	shards := fs.Int("shards", 1, "shards per benchmark (suite/batch runs)")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (suite/batch runs)")
 	streamMem := fs.Int("stream-mem", 0, "materialized-stream cache size in MiB (0 = default, negative disables; suite/batch runs)")
+	snapshots := fs.Bool("snapshots", false, "persist predictor-state snapshots and resume longer-budget runs from cached prefixes (needs -cache-dir)")
+	exactShards := fs.Bool("exact-shards", false, "chain shard boundary snapshots so sharded results are bit-identical to unsharded runs")
+	cachePrune := fs.Bool("cache-prune", false, "delete cache entries from stale engine versions under -cache-dir, then exit (unless a run is requested)")
 	allConfigs := fs.Bool("all-configs", false, "batch mode: run every registry configuration over -suite or -bench")
 	listPredictors := fs.Bool("predictors", false, "list predictor configurations and exit")
 	listBenches := fs.Bool("benchmarks", false, "list benchmark names and exit")
@@ -77,6 +87,22 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return sim.EngineConfig{
 			Workers: *parallel, Shards: *shards, CacheDir: *cacheDir,
 			StreamMemory: sim.StreamMemoryFromMiB(*streamMem),
+			Snapshots:    *snapshots, ExactShards: *exactShards,
+		}
+	}
+
+	if *cachePrune {
+		if *cacheDir == "" {
+			return fmt.Errorf("-cache-prune needs -cache-dir")
+		}
+		st, err := sim.OpenStore(*cacheDir).Prune(sim.EngineVersion)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "pruned %d stale cache entries (%.1f MiB) in %d directories; kept v%d\n",
+			st.Files, float64(st.Bytes)/(1<<20), st.Dirs, sim.EngineVersion)
+		if sources == 0 && !*allConfigs && !*listPredictors && !*listBenches {
+			return nil
 		}
 	}
 

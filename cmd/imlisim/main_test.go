@@ -62,6 +62,61 @@ func TestRunListPredictors(t *testing.T) {
 	}
 }
 
+func TestRunSnapshotsAndExactShards(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	// A short run with snapshots, then a longer one that resumes: the
+	// longer run's output must match a cold run of the same budget.
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=1000",
+		"-snapshots", "-cache-dir=" + dir}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var resumed, cold strings.Builder
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=2000",
+		"-snapshots", "-cache-dir=" + dir}, &resumed, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=2000"},
+		&cold, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != cold.String() {
+		t.Error("snapshot-resumed run reported different results than a cold run")
+	}
+
+	// Exact sharding must reproduce the unsharded per-trace lines.
+	var exact, unsharded strings.Builder
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=2000",
+		"-shards=4", "-exact-shards"}, &exact, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=2000"},
+		&unsharded, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if exact.String() != unsharded.String() {
+		t.Error("-exact-shards output differs from the unsharded run")
+	}
+}
+
+func TestRunCachePrune(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := run([]string{"-predictor=bimodal", "-suite=cbp4", "-branches=500",
+		"-cache-dir=" + dir}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-cache-prune", "-cache-dir=" + dir}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pruned 0 stale cache entries") {
+		t.Errorf("prune of a current-version cache: %q", out.String())
+	}
+	// Prune without a cache directory is an error.
+	if err := run([]string{"-cache-prune"}, io.Discard, io.Discard); err == nil {
+		t.Error("-cache-prune without -cache-dir accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},                                 // nothing to do

@@ -14,10 +14,12 @@
 //   - the experiment harness that regenerates every table and figure of
 //     the paper (Experiments, RunExperiment);
 //   - engine controls for both (WithParallel, WithShards, WithCacheDir,
-//     WithStreamCache, WithProgress): suite runs fan (benchmark × shard)
-//     work items over a bounded worker pool, read each benchmark's
-//     stream from a shared once-per-run materialization, and can be
-//     cached on disk so repeated runs are incremental.
+//     WithStreamCache, WithSnapshots, WithExactSharding, WithProgress):
+//     suite runs fan (benchmark × shard) work items over a bounded
+//     worker pool, read each benchmark's stream from a shared
+//     once-per-run materialization, and can be cached on disk so
+//     repeated runs are incremental — including resuming longer-budget
+//     runs from snapshots of shorter ones.
 //
 // Quick start:
 //
@@ -120,6 +122,8 @@ type engineOptions struct {
 	shards    int
 	cacheDir  string
 	streamMem int64
+	snapshots bool
+	exact     bool
 	progress  io.Writer
 }
 
@@ -145,6 +149,21 @@ func WithCacheDir(dir string) Option { return func(o *engineOptions) { o.cacheDi
 func WithStreamCache(maxBytes int64) Option {
 	return func(o *engineOptions) { o.streamMem = maxBytes }
 }
+
+// WithSnapshots enables the predictor-state snapshot layer (DESIGN.md
+// §8): runs persist their end-of-run predictor state in the result
+// store (WithCacheDir) and later, longer-budget runs of the same
+// configuration and trace resume from the longest cached prefix
+// instead of re-training from record 0 — an ascending budget sweep
+// costs max(budget) simulation work instead of sum(budgets).
+func WithSnapshots(on bool) Option { return func(o *engineOptions) { o.snapshots = on } }
+
+// WithExactSharding switches WithShards from functional warm-up to
+// boundary-snapshot chaining: merged sharded results are bit-identical
+// to the unsharded run (no DESIGN.md §5 tolerance), at the cost of
+// serializing each benchmark's shards on one worker. Implies
+// WithSnapshots.
+func WithExactSharding(on bool) Option { return func(o *engineOptions) { o.exact = on } }
 
 // WithProgress streams per-suite progress lines (with cache
 // accounting) to w while an experiment runs.
@@ -172,6 +191,7 @@ func SimulateSuite(config, suite string, budget int, opts ...Option) (SuiteRun, 
 	o := applyOptions(opts)
 	engine := sim.NewEngine(sim.EngineConfig{
 		Workers: o.parallel, Shards: o.shards, CacheDir: o.cacheDir, StreamMemory: o.streamMem,
+		Snapshots: o.snapshots, ExactShards: o.exact,
 	})
 	builder := func() Predictor { return predictor.MustNew(config) }
 	return engine.RunSuite(builder, config, suite, benches, budget), nil
@@ -238,6 +258,8 @@ func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, err
 		Shards:       o.shards,
 		CacheDir:     o.cacheDir,
 		StreamMemory: o.streamMem,
+		Snapshots:    o.snapshots,
+		ExactShards:  o.exact,
 		Progress:     o.progress,
 	})
 	return e.Run(r), nil

@@ -131,6 +131,45 @@ func TestFacadeSuiteOptions(t *testing.T) {
 	}
 }
 
+func TestFacadeSnapshotOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	dir := t.TempDir()
+	// Ascending budgets with WithSnapshots: the longer run resumes from
+	// the shorter run's snapshot and still matches a cold run exactly.
+	if _, err := imli.SimulateSuite("gshare", "cbp4", 2000,
+		imli.WithSnapshots(true), imli.WithCacheDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := imli.SimulateSuite("gshare", "cbp4", 5000,
+		imli.WithSnapshots(true), imli.WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := imli.SimulateSuite("gshare", "cbp4", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resumed.Results {
+		if resumed.Results[i] != cold.Results[i] {
+			t.Errorf("%s: snapshot-resumed result differs from cold run", resumed.Results[i].Trace)
+		}
+	}
+
+	// WithExactSharding: merged results bit-identical to unsharded.
+	exact, err := imli.SimulateSuite("gshare", "cbp4", 5000,
+		imli.WithShards(4), imli.WithExactSharding(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact.Results {
+		if exact.Results[i] != cold.Results[i] {
+			t.Errorf("%s: exact-sharded result differs from unsharded run", exact.Results[i].Trace)
+		}
+	}
+}
+
 func TestFacadeExperimentOptions(t *testing.T) {
 	dir := t.TempDir()
 	var progress strings.Builder

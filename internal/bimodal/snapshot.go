@@ -1,0 +1,17 @@
+package bimodal
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): the full
+// counter array. Geometry is construction-time configuration.
+func (t *Table) Snapshot(e *snap.Encoder) {
+	e.Begin("bimodal", 1)
+	e.Uint8s(t.ctr)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (t *Table) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("bimodal", 1)
+	d.Uint8s(t.ctr)
+	return d.Err()
+}

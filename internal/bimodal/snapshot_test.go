@@ -1,0 +1,43 @@
+package bimodal
+
+import (
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/snap"
+)
+
+// TestSnapshotRoundTrip: snapshot → restore into a fresh table →
+// continued predictions are identical to the uninterrupted table.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(11)
+	t1 := New(256, 2)
+	for i := 0; i < 2000; i++ {
+		pc := rng.Uint64()
+		t1.Predict(pc)
+		t1.Update(pc, rng.Bool())
+	}
+
+	e := snap.NewEncoder()
+	t1.Snapshot(e)
+	t2 := New(256, 2)
+	if err := t2.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		pc, taken := rng.Uint64(), rng.Bool()
+		if t1.Predict(pc) != t2.Predict(pc) {
+			t.Fatalf("prediction diverged at step %d", i)
+		}
+		t1.Update(pc, taken)
+		t2.Update(pc, taken)
+	}
+}
+
+func TestSnapshotGeometryMismatch(t *testing.T) {
+	e := snap.NewEncoder()
+	New(256, 2).Snapshot(e)
+	if err := New(512, 2).RestoreSnapshot(snap.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("restore into a differently sized table succeeded")
+	}
+}

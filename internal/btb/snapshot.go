@@ -1,0 +1,76 @@
+package btb
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): the BTB entry
+// array, the return address stack, the indirect-target table, the
+// target history, and the accumulated statistics (the stats are
+// observable state — a resumed measurement must continue the counts).
+func (u *Unit) Snapshot(e *snap.Encoder) {
+	e.Begin("btb", 1)
+	snapshotEntries(e, u.entries)
+	e.Uint64s(u.ras)
+	e.Int(u.rasTop)
+	snapshotEntries(e, u.ind)
+	e.U64(u.targHist)
+	e.U64(u.Stats.BTBLookups)
+	e.U64(u.Stats.BTBHits)
+	e.U64(u.Stats.BTBCorrect)
+	e.U64(u.Stats.RASPops)
+	e.U64(u.Stats.RASCorrect)
+	e.U64(u.Stats.IndLookups)
+	e.U64(u.Stats.IndCorrect)
+	e.U64(u.Stats.ColdBranches)
+	e.U64(u.Stats.BackwardHints)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (u *Unit) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("btb", 1)
+	restoreEntries(d, u.entries)
+	d.Uint64s(u.ras)
+	rasTop := d.Int()
+	restoreEntries(d, u.ind)
+	u.targHist = d.U64()
+	u.Stats.BTBLookups = d.U64()
+	u.Stats.BTBHits = d.U64()
+	u.Stats.BTBCorrect = d.U64()
+	u.Stats.RASPops = d.U64()
+	u.Stats.RASCorrect = d.U64()
+	u.Stats.IndLookups = d.U64()
+	u.Stats.IndCorrect = d.U64()
+	u.Stats.ColdBranches = d.U64()
+	u.Stats.BackwardHints = d.U64()
+	if rasTop < 0 || rasTop > len(u.ras) {
+		d.Fail("btb: RAS depth %d out of range [0,%d]", rasTop, len(u.ras))
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	u.rasTop = rasTop
+	return nil
+}
+
+func snapshotEntries(e *snap.Encoder, entries []entry) {
+	e.U32(uint32(len(entries)))
+	for i := range entries {
+		e.Bool(entries[i].valid)
+		e.U16(entries[i].tag)
+		e.U64(entries[i].target)
+		e.U8(entries[i].age)
+	}
+}
+
+func restoreEntries(d *snap.Decoder, entries []entry) {
+	n := int(d.U32())
+	if n != len(entries) {
+		d.Fail("btb: %d entries where %d expected (snapshot from a different geometry?)", n, len(entries))
+		return
+	}
+	for i := range entries {
+		entries[i].valid = d.Bool()
+		entries[i].tag = d.U16()
+		entries[i].target = d.U64()
+		entries[i].age = d.U8()
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8) for the IMLI
+// counter. The full state is the counter value itself — the same 10
+// bits the hardware checkpoints per fetch block.
+func (m *IMLI) Snapshot(e *snap.Encoder) {
+	e.Begin("imli", 1)
+	e.U32(m.count)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (m *IMLI) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("imli", 1)
+	c := d.U32()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	m.count = c & m.mask
+	return nil
+}
+
+// Snapshot implements snap.Snapshotter for IMLI-SIC: the prediction
+// counter table (the shared IMLI counter snapshots separately through
+// its owner).
+func (s *SIC) Snapshot(e *snap.Encoder) {
+	e.Begin("imli-sic", 1)
+	e.Int8s(s.ctr)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (s *SIC) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("imli-sic", 1)
+	d.Int8s(s.ctr)
+	return d.Err()
+}
+
+// Snapshot implements snap.Snapshotter for IMLI-OH: the outer-history
+// table, the PIPE vector, the prediction counters, and the pending
+// delayed-write queue of the §4.3.2 delayed-update variant.
+func (o *OH) Snapshot(e *snap.Encoder) {
+	e.Begin("imli-oh", 1)
+	e.Uint8s(o.hist)
+	e.U32(o.pipe)
+	e.Int8s(o.ctr)
+	e.U32(uint32(len(o.pending)))
+	for _, w := range o.pending {
+		e.U32(w.index)
+		e.Bool(w.taken)
+	}
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (o *OH) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("imli-oh", 1)
+	d.Uint8s(o.hist)
+	pipe := d.U32()
+	d.Int8s(o.ctr)
+	n := d.VarLen(5)
+	pending := o.pending[:0]
+	for i := 0; i < n; i++ {
+		idx := d.U32()
+		taken := d.Bool()
+		if int(idx) >= len(o.hist) {
+			d.Fail("imli-oh: pending write index %d out of range", idx)
+			break
+		}
+		pending = append(pending, pendingWrite{index: idx, taken: taken})
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	o.pipe = pipe
+	o.pending = pending
+	return nil
+}

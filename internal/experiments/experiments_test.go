@@ -102,6 +102,35 @@ func TestRunnerProgressReportsCache(t *testing.T) {
 	}
 }
 
+func TestSuiteAtBudgetResumes(t *testing.T) {
+	// The budget-sweep primitive: ascending SuiteAtBudget calls with
+	// the snapshot layer on resume from each other's end snapshots, and
+	// the full-budget call lands on the same cache entry as Suite.
+	dir := t.TempDir()
+	r := NewRunner(Params{Budget: 8000, CacheDir: dir, Snapshots: true})
+	r.SuiteAtBudget("gshare", "cbp4", 2000)
+	r.SuiteAtBudget("gshare", "cbp4", 4000)
+	got := r.SuiteAtBudget("gshare", "cbp4", 8000)
+	if st := r.EngineStats(); st.Resumed != 80 {
+		t.Errorf("resumed %d shard runs, want 80 (2 budget steps × 40 benchmarks)", st.Resumed)
+	}
+
+	cold := NewRunner(Params{Budget: 8000}).Suite("gshare", "cbp4")
+	for i := range got.Results {
+		if got.Results[i] != cold.Results[i] {
+			t.Errorf("%s: resumed sweep result %+v != cold %+v",
+				got.Results[i].Trace, got.Results[i], cold.Results[i])
+		}
+	}
+
+	// The full-budget call must have been served from the same
+	// in-memory cache entry Suite uses.
+	direct := r.Suite("gshare", "cbp4")
+	if &got.Results[0] != &direct.Results[0] {
+		t.Error("SuiteAtBudget(full) did not share the Suite cache entry")
+	}
+}
+
 func TestRunnerDefaultBudget(t *testing.T) {
 	r := NewRunner(Params{})
 	if r.Params().Budget != DefaultParams().Budget {

@@ -42,6 +42,17 @@ type Params struct {
 	// benchmark streams (DESIGN.md §6): 0 means the default bound,
 	// <0 disables materialization.
 	StreamMemory int64
+	// Snapshots enables the predictor-state snapshot layer (DESIGN.md
+	// §8): runs persist end-of-run predictor state in the result store
+	// and longer-budget runs of the same configuration resume from the
+	// longest cached prefix — the scaling experiment's budget sweep
+	// costs max(budget) instead of sum(budgets). Needs CacheDir to
+	// persist anything.
+	Snapshots bool
+	// ExactShards switches sharding to boundary-snapshot chaining, so
+	// sharded results are bit-identical to unsharded runs (DESIGN.md
+	// §8) instead of carrying the §5 warm-up tolerance.
+	ExactShards bool
 }
 
 // DefaultParams runs the full-size evaluation.
@@ -73,6 +84,7 @@ func NewRunner(p Params) *Runner {
 		params: p,
 		engine: sim.NewEngine(sim.EngineConfig{
 			Workers: p.Parallel, Shards: p.Shards, CacheDir: p.CacheDir, StreamMemory: p.StreamMemory,
+			Snapshots: p.Snapshots, ExactShards: p.ExactShards,
 		}),
 		suites:  workload.Suites(),
 		cache:   map[string]sim.SuiteRun{},
@@ -104,7 +116,25 @@ func (r *Runner) SuiteWith(key, suite string, builder func() predictor.Predictor
 	return r.suiteWith(key+"@"+suite, suite, builder, key)
 }
 
+// SuiteAtBudget is Suite at an explicit branch budget instead of the
+// runner's Params.Budget — the primitive behind budget sweeps. With
+// Params.Snapshots and a CacheDir, an ascending sweep resumes each run
+// from the previous budget's end snapshot, so the sweep costs
+// max(budget) simulation work instead of sum(budgets) (DESIGN.md §8).
+func (r *Runner) SuiteAtBudget(config, suite string, budget int) sim.SuiteRun {
+	if budget <= 0 || budget == r.params.Budget {
+		return r.Suite(config, suite)
+	}
+	return r.suiteAt(fmt.Sprintf("%s@%s@b%d", config, suite, budget), suite, func() predictor.Predictor {
+		return predictor.MustNew(config)
+	}, config, budget)
+}
+
 func (r *Runner) suiteWith(cacheKey, suite string, builder func() predictor.Predictor, name string) sim.SuiteRun {
+	return r.suiteAt(cacheKey, suite, builder, name, r.params.Budget)
+}
+
+func (r *Runner) suiteAt(cacheKey, suite string, builder func() predictor.Predictor, name string, budget int) sim.SuiteRun {
 	r.mu.Lock()
 	if run, ok := r.cache[cacheKey]; ok {
 		r.mu.Unlock()
@@ -123,7 +153,7 @@ func (r *Runner) suiteWith(cacheKey, suite string, builder func() predictor.Pred
 	benches := r.suites[suite]
 	r.mu.Unlock()
 
-	run := r.engine.RunSuite(builder, name, suite, benches, r.params.Budget)
+	run := r.engine.RunSuite(builder, name, suite, benches, budget)
 
 	r.mu.Lock()
 	r.cache[cacheKey] = run

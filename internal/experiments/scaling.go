@@ -12,7 +12,7 @@ import (
 func init() {
 	register(Experiment{
 		ID:    "scaling",
-		Title: "Storage scaling: IMLI benefit across predictor budgets",
+		Title: "Storage scaling: IMLI benefit across predictor and branch budgets",
 		Run:   runScaling,
 	})
 }
@@ -81,5 +81,31 @@ func runScaling(r *Runner) Report {
 	b.WriteString(t.String())
 	b.WriteString("\nThe reduction persists at every budget: the correlations IMLI captures\n")
 	b.WriteString("are invisible to global history regardless of how much of it is kept.\n")
+
+	// Branch-budget sweep: the same comparison as the predictor warms
+	// over longer and longer stream prefixes. The sweep runs ascending,
+	// so with the snapshot layer enabled (Params.Snapshots + CacheDir)
+	// each budget resumes from the previous one's end snapshot and the
+	// whole sweep costs max(budget) simulation work (DESIGN.md §8).
+	b.WriteString("\nBranch-budget scaling (prefixes of the same streams; ascending, so\n")
+	b.WriteString("snapshot resume turns the sweep's sum(budgets) into max(budget)):\n\n")
+	bt := &stats.Table{Header: []string{"branch budget", "suite", "base", "+imli", "reduction"}}
+	full := r.Params().Budget
+	for _, div := range []int{8, 4, 2, 1} {
+		budget := full / div
+		if budget == 0 {
+			continue
+		}
+		const s = "cbp4"
+		base := r.SuiteAtBudget("tage-gsc", s, budget).AvgMPKI()
+		withIMLI := r.SuiteAtBudget("tage-gsc+imli", s, budget).AvgMPKI()
+		bt.AddRow(fmt.Sprintf("%dK (1/%d)", budget/1000, div), s,
+			stats.F(base), stats.F(withIMLI),
+			stats.Pct(stats.PctChange(base, withIMLI)))
+		frac := fmt.Sprintf("b%d", div)
+		vals["budget."+frac+".base.cbp4"] = base
+		vals["budget."+frac+".imli.cbp4"] = withIMLI
+	}
+	b.WriteString(bt.String())
 	return Report{ID: "scaling", Title: "storage scaling", Text: b.String(), Values: vals}
 }

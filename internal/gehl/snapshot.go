@@ -1,0 +1,34 @@
+package gehl
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): the adder
+// tree's threshold state plus every global-history table. Components
+// added to the tree from outside (IMLI, local history) snapshot
+// through the composite that owns them; the folded registers live in
+// the shared FoldedBank.
+func (p *Predictor) Snapshot(e *snap.Encoder) {
+	e.Begin("gehl", 1)
+	p.tree.Snapshot(e)
+	e.U32(uint32(len(p.tables)))
+	for _, t := range p.tables {
+		t.Snapshot(e)
+	}
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (p *Predictor) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("gehl", 1)
+	if err := p.tree.RestoreSnapshot(d); err != nil {
+		return err
+	}
+	if n := int(d.U32()); d.Err() == nil && n != len(p.tables) {
+		d.Fail("gehl: %d tables where %d expected", n, len(p.tables))
+	}
+	for _, t := range p.tables {
+		if err := t.RestoreSnapshot(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,23 @@
+package gshare
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): the counter
+// table and the embedded global history register.
+func (p *Predictor) Snapshot(e *snap.Encoder) {
+	e.Begin("gshare", 1)
+	e.U64(p.hist)
+	e.Uint8s(p.ctr)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (p *Predictor) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("gshare", 1)
+	h := d.U64()
+	d.Uint8s(p.ctr)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.hist = h & ((1 << uint(p.histBits)) - 1)
+	return nil
+}

@@ -1,0 +1,47 @@
+package gshare
+
+import (
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/snap"
+)
+
+// TestSnapshotRoundTrip: snapshot → restore into a fresh predictor →
+// continued predictions are identical to the uninterrupted one (the
+// embedded history register must survive the trip too).
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(13)
+	p1 := New(4096, 12)
+	pcs := make([]uint64, 64)
+	for i := range pcs {
+		pcs[i] = rng.Uint64()
+	}
+	for i := 0; i < 3000; i++ {
+		pc := pcs[rng.Intn(len(pcs))]
+		p1.Predict(pc)
+		p1.Update(pc, rng.Bool())
+	}
+
+	e := snap.NewEncoder()
+	p1.Snapshot(e)
+	p2 := New(4096, 12)
+	if err := p2.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		pc, taken := pcs[rng.Intn(len(pcs))], rng.Bool()
+		if p1.Predict(pc) != p2.Predict(pc) {
+			t.Fatalf("prediction diverged at step %d", i)
+		}
+		p1.Update(pc, taken)
+		p2.Update(pc, taken)
+	}
+
+	e1, e2 := snap.NewEncoder(), snap.NewEncoder()
+	p1.Snapshot(e1)
+	p2.Snapshot(e2)
+	if string(e1.Bytes()) != string(e2.Bytes()) {
+		t.Error("final states differ after identical continuation")
+	}
+}

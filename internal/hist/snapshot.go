@@ -1,0 +1,77 @@
+package hist
+
+import "repro/internal/snap"
+
+// This file implements the uniform snapshot layer (DESIGN.md §8) for
+// the history structures. Geometry (capacities, widths, history
+// lengths) is construction-time configuration and is NOT part of the
+// payload; restoring into a differently sized instance fails via the
+// codec's exact-length slice contract.
+
+// Snapshot implements snap.Snapshotter: the full history window plus
+// both head pointers.
+func (g *Global) Snapshot(e *snap.Encoder) {
+	e.Begin("hist.global", 1)
+	e.U32(g.specPtr)
+	e.U32(g.commit)
+	e.Uint64s(g.words)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (g *Global) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("hist.global", 1)
+	spec, commit := d.U32(), d.U32()
+	d.Uint64s(g.words)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	g.specPtr, g.commit = spec, commit
+	return nil
+}
+
+// Snapshot implements snap.Snapshotter for the path history.
+func (p *Path) Snapshot(e *snap.Encoder) {
+	e.Begin("hist.path", 1)
+	e.U64(p.h)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (p *Path) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("hist.path", 1)
+	h := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.Restore(h) // re-masks to the configured width
+	return nil
+}
+
+// Snapshot implements snap.Snapshotter: only the live register values —
+// widths, history lengths and the push-time derived constants are
+// reconstructed by Add when the owning predictor is rebuilt.
+func (b *FoldedBank) Snapshot(e *snap.Encoder) {
+	e.Begin("hist.foldedbank", 1)
+	e.Uint32s(b.value)
+}
+
+// RestoreSnapshot implements snap.Snapshotter. The restoring bank must
+// have been assembled with the identical Add sequence (same composite
+// configuration); a register-count mismatch fails the decode.
+func (b *FoldedBank) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("hist.foldedbank", 1)
+	d.Uint32s(b.value)
+	return d.Err()
+}
+
+// Snapshot implements snap.Snapshotter for the local history table.
+func (l *Local) Snapshot(e *snap.Encoder) {
+	e.Begin("hist.local", 1)
+	e.Uint64s(l.hist)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (l *Local) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("hist.local", 1)
+	d.Uint64s(l.hist)
+	return d.Err()
+}

@@ -1,0 +1,141 @@
+package hist
+
+import (
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/snap"
+)
+
+// TestGlobalSnapshotRoundTrip: snapshot → restore into a fresh
+// instance → continued pushes read identically to the uninterrupted
+// buffer.
+func TestGlobalSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(101)
+	g1 := NewGlobal(512)
+	for i := 0; i < 1000; i++ {
+		g1.Push(rng.Bool())
+	}
+	g1.Commit(400)
+
+	e := snap.NewEncoder()
+	g1.Snapshot(e)
+	g2 := NewGlobal(512)
+	if err := g2.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 800; i++ {
+		b := rng.Bool()
+		g1.Push(b)
+		g2.Push(b)
+	}
+	for i := 0; i < 512; i++ {
+		if g1.Bit(i) != g2.Bit(i) {
+			t.Fatalf("bit %d diverged after restore", i)
+		}
+	}
+	if g1.SpecDepth() != g2.SpecDepth() {
+		t.Errorf("spec depth %d != %d", g1.SpecDepth(), g2.SpecDepth())
+	}
+}
+
+func TestGlobalSnapshotGeometryMismatch(t *testing.T) {
+	e := snap.NewEncoder()
+	NewGlobal(512).Snapshot(e)
+	if err := NewGlobal(1024).RestoreSnapshot(snap.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("restore into a differently sized buffer succeeded")
+	}
+}
+
+func TestPathSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(7)
+	p1 := NewPath(27)
+	for i := 0; i < 200; i++ {
+		p1.Push(rng.Uint64())
+	}
+	e := snap.NewEncoder()
+	p1.Snapshot(e)
+	p2 := NewPath(27)
+	if err := p2.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		pc := rng.Uint64()
+		p1.Push(pc)
+		p2.Push(pc)
+	}
+	if p1.Value() != p2.Value() {
+		t.Errorf("path diverged: %#x != %#x", p1.Value(), p2.Value())
+	}
+}
+
+// TestFoldedBankSnapshotRoundTrip: a restored bank continues push-
+// for-push identical to the uninterrupted one.
+func TestFoldedBankSnapshotRoundTrip(t *testing.T) {
+	build := func() (*Global, *FoldedBank) {
+		g := NewGlobal(1024)
+		b := NewFoldedBank()
+		for _, spec := range [][2]int{{4, 10}, {17, 10}, {17, 8}, {17, 7}, {130, 12}, {640, 10}} {
+			b.Add(spec[0], spec[1])
+		}
+		return g, b
+	}
+	rng := num.NewRand(42)
+	g1, b1 := build()
+	for i := 0; i < 2000; i++ {
+		g1.Push(rng.Bool())
+		b1.Push(g1)
+	}
+
+	e := snap.NewEncoder()
+	g1.Snapshot(e)
+	b1.Snapshot(e)
+	g2, b2 := build()
+	d := snap.NewDecoder(e.Bytes())
+	if err := g2.RestoreSnapshot(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.RestoreSnapshot(d); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1500; i++ {
+		bit := rng.Bool()
+		g1.Push(bit)
+		b1.Push(g1)
+		g2.Push(bit)
+		b2.Push(g2)
+		for r := 0; r < b1.Len(); r++ {
+			if b1.Value(FoldedRef(r)) != b2.Value(FoldedRef(r)) {
+				t.Fatalf("register %d diverged at push %d", r, i)
+			}
+		}
+	}
+}
+
+func TestLocalSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(9)
+	l1 := NewLocal(64, 24)
+	pcs := make([]uint64, 40)
+	for i := range pcs {
+		pcs[i] = rng.Uint64()
+	}
+	for i := 0; i < 1000; i++ {
+		l1.Push(pcs[rng.Intn(len(pcs))], rng.Bool())
+	}
+	e := snap.NewEncoder()
+	l1.Snapshot(e)
+	l2 := NewLocal(64, 24)
+	if err := l2.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		pc, taken := pcs[rng.Intn(len(pcs))], rng.Bool()
+		l1.Push(pc, taken)
+		l2.Push(pc, taken)
+	}
+	for _, pc := range pcs {
+		if l1.Get(pc) != l2.Get(pc) {
+			t.Fatalf("local history for %#x diverged", pc)
+		}
+	}
+}

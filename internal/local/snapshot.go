@@ -1,0 +1,29 @@
+package local
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): the shared
+// local history table plus every prediction table's counters.
+func (g *Group) Snapshot(e *snap.Encoder) {
+	e.Begin("local", 1)
+	g.hist.Snapshot(e)
+	e.U32(uint32(len(g.tables)))
+	for _, t := range g.tables {
+		e.Int8s(t.ctr)
+	}
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (g *Group) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("local", 1)
+	if err := g.hist.RestoreSnapshot(d); err != nil {
+		return err
+	}
+	if n := int(d.U32()); d.Err() == nil && n != len(g.tables) {
+		d.Fail("local: %d tables where %d expected", n, len(g.tables))
+	}
+	for _, t := range g.tables {
+		d.Int8s(t.ctr)
+	}
+	return d.Err()
+}

@@ -1,0 +1,54 @@
+package loop
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): every table
+// entry, the allocation PRNG, and the cross-branch inner-most-loop
+// tracking the wormhole predictor reads (curNbIter/curConf persist
+// between branches, unlike the per-branch Predict scratch).
+func (p *Predictor) Snapshot(e *snap.Encoder) {
+	e.Begin("loop", 1)
+	e.U32(uint32(len(p.entries)))
+	for i := range p.entries {
+		en := &p.entries[i]
+		e.U16(en.tag)
+		e.U16(en.nbIter)
+		e.U16(en.currentIter)
+		e.U8(en.conf)
+		e.U8(en.age)
+		e.Bool(en.dir)
+	}
+	e.U64(p.rng.State())
+	e.Int(p.curNbIter)
+	e.Bool(p.curConf)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (p *Predictor) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("loop", 1)
+	if n := int(d.U32()); d.Err() == nil && n != len(p.entries) {
+		d.Fail("loop: %d entries where %d expected (snapshot from a different geometry?)", n, len(p.entries))
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	for i := range p.entries {
+		en := &p.entries[i]
+		en.tag = d.U16()
+		en.nbIter = d.U16()
+		en.currentIter = d.U16()
+		en.conf = d.U8()
+		en.age = d.U8()
+		en.dir = d.Bool()
+	}
+	rng := d.U64()
+	curNbIter := d.Int()
+	curConf := d.Bool()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.rng.SetState(rng)
+	p.curNbIter = curNbIter
+	p.curConf = curConf
+	return nil
+}

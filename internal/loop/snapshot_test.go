@@ -1,0 +1,65 @@
+package loop
+
+import (
+	"testing"
+
+	"repro/internal/num"
+	"repro/internal/snap"
+)
+
+// TestSnapshotRoundTrip: a restored loop predictor continues
+// prediction-for-prediction identical to the uninterrupted one —
+// including the allocation PRNG and the CurrentLoop tracking the
+// wormhole predictor reads.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(41)
+	p1 := New(DefaultConfig())
+	drive := func(p *Predictor, r *num.Rand, check func(step int, pred, valid bool, nb int, conf bool)) {
+		for i := 0; i < 4000; i++ {
+			// A few constant-trip loops plus noise branches.
+			pc := uint64(0x7000 + r.Intn(12)*4)
+			trip := 3 + int(pc>>2)%5
+			taken := i%trip != trip-1
+			pred, valid := p.Predict(pc)
+			nb, conf := p.CurrentLoop()
+			if check != nil {
+				check(i, pred, valid, nb, conf)
+			}
+			p.Update(pc, taken, r.Intn(4) == 0, true)
+		}
+	}
+	drive(p1, rng, nil)
+
+	e := snap.NewEncoder()
+	p1.Snapshot(e)
+	p2 := New(DefaultConfig())
+	if err := p2.RestoreSnapshot(snap.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if n1, c1 := p1.CurrentLoop(); true {
+		if n2, c2 := p2.CurrentLoop(); n1 != n2 || c1 != c2 {
+			t.Fatalf("CurrentLoop (%d,%v) != (%d,%v)", n2, c2, n1, c1)
+		}
+	}
+
+	cont := rng.State()
+	r1, r2 := num.NewRand(1), num.NewRand(1)
+	r1.SetState(cont)
+	r2.SetState(cont)
+	type obs struct {
+		pred, valid bool
+		nb          int
+		conf        bool
+	}
+	var trace1 []obs
+	drive(p1, r1, func(_ int, pred, valid bool, nb int, conf bool) {
+		trace1 = append(trace1, obs{pred, valid, nb, conf})
+	})
+	i := 0
+	drive(p2, r2, func(step int, pred, valid bool, nb int, conf bool) {
+		if (obs{pred, valid, nb, conf}) != trace1[i] {
+			t.Fatalf("loop predictor diverged at step %d", step)
+		}
+		i++
+	})
+}

@@ -1,0 +1,52 @@
+package neural
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8) for the adder
+// tree's own mutable state: the adaptive threshold and its training
+// counter. Components snapshot through their owners (the tree does not
+// own its component tables).
+func (t *Tree) Snapshot(e *snap.Encoder) {
+	e.Begin("neural.tree", 1)
+	e.Int(t.theta)
+	e.Int(t.tc)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (t *Tree) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("neural.tree", 1)
+	theta, tc := d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	t.theta, t.tc = theta, tc
+	return nil
+}
+
+// Snapshot implements snap.Snapshotter for a global-history table: the
+// counter array. The folded register lives in the owner's FoldedBank
+// and snapshots there.
+func (t *GlobalTable) Snapshot(e *snap.Encoder) {
+	e.Begin("neural.global", 1)
+	e.Int8s(t.ctr)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (t *GlobalTable) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("neural.global", 1)
+	d.Int8s(t.ctr)
+	return d.Err()
+}
+
+// Snapshot implements snap.Snapshotter for a bias table.
+func (t *BiasTable) Snapshot(e *snap.Encoder) {
+	e.Begin("neural.bias", 1)
+	e.Int8s(t.ctr)
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (t *BiasTable) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("neural.bias", 1)
+	d.Int8s(t.ctr)
+	return d.Err()
+}

@@ -73,6 +73,21 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{s: seed}
 }
 
+// State returns the PRNG's internal state, for predictor-state
+// snapshots (allocation policies consume randomness, so resuming a
+// simulation bit-exactly requires resuming the PRNG).
+func (r *Rand) State() uint64 { return r.s }
+
+// SetState restores a state previously captured with State. A zero
+// value is remapped like a zero seed (xorshift has a fixed point at 0,
+// but no reachable state is ever 0, so this only defends bad input).
+func (r *Rand) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.s = s
+}
+
 // Uint64 returns the next pseudo-random value.
 func (r *Rand) Uint64() uint64 {
 	x := r.s

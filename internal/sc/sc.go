@@ -52,6 +52,7 @@ func DefaultConfig() Config {
 type Corrector struct {
 	cfg     Config
 	tree    *neural.Tree
+	bias    []*neural.BiasTable
 	globals []*neural.GlobalTable
 
 	lastSum int
@@ -69,6 +70,7 @@ func New(cfg Config, path *hist.Path, bank *hist.FoldedBank) *Corrector {
 	}
 	bias := neural.NewBiasTable("gsc-bias", cfg.BiasEntries, cfg.CtrBits, 0)
 	biasSK := neural.NewBiasTable("gsc-bias-sk", cfg.BiasEntries, cfg.CtrBits, 0xfeedface)
+	c.bias = []*neural.BiasTable{bias, biasSK}
 	comps := []neural.Component{bias, biasSK}
 	for i, h := range cfg.GlobalHists {
 		t := neural.NewGlobalTable("gsc-g"+string(rune('0'+i)), cfg.GlobalEntries, cfg.CtrBits, h, path, bank)

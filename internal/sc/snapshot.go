@@ -1,0 +1,46 @@
+package sc
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): the adder
+// tree's threshold state plus the corrector's own tables (bias and
+// global-history). Components added to the tree from outside (IMLI,
+// local history) snapshot through the composite that owns them, and
+// the folded registers live in the shared FoldedBank.
+func (c *Corrector) Snapshot(e *snap.Encoder) {
+	e.Begin("sc", 1)
+	c.tree.Snapshot(e)
+	e.U32(uint32(len(c.bias)))
+	for _, b := range c.bias {
+		b.Snapshot(e)
+	}
+	e.U32(uint32(len(c.globals)))
+	for _, g := range c.globals {
+		g.Snapshot(e)
+	}
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (c *Corrector) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("sc", 1)
+	if err := c.tree.RestoreSnapshot(d); err != nil {
+		return err
+	}
+	if n := int(d.U32()); d.Err() == nil && n != len(c.bias) {
+		d.Fail("sc: %d bias tables where %d expected", n, len(c.bias))
+	}
+	for _, b := range c.bias {
+		if err := b.RestoreSnapshot(d); err != nil {
+			return err
+		}
+	}
+	if n := int(d.U32()); d.Err() == nil && n != len(c.globals) {
+		d.Fail("sc: %d global tables where %d expected", n, len(c.globals))
+	}
+	for _, g := range c.globals {
+		if err := g.RestoreSnapshot(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}

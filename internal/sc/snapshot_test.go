@@ -1,0 +1,68 @@
+package sc
+
+import (
+	"testing"
+
+	"repro/internal/hist"
+	"repro/internal/num"
+	"repro/internal/snap"
+	"repro/internal/tage"
+)
+
+// TestSnapshotRoundTrip: a restored corrector (threshold, bias tables,
+// global tables) combined with restored shared histories continues
+// prediction-for-prediction identical to the uninterrupted one.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(47)
+	build := func() (*hist.Global, *hist.Path, *hist.FoldedBank, *Corrector) {
+		g := hist.NewGlobal(256)
+		path := hist.NewPath(27)
+		bank := hist.NewFoldedBank()
+		return g, path, bank, New(DefaultConfig(), path, bank)
+	}
+	g1, path1, bank1, c1 := build()
+	confs := []tage.Confidence{tage.LowConf, tage.MedConf, tage.HighConf}
+	drive := func(g *hist.Global, path *hist.Path, bank *hist.FoldedBank, c *Corrector, r *num.Rand, check func(step int, pred bool)) {
+		for i := 0; i < 4000; i++ {
+			pc := uint64(0x9000 + r.Intn(56)*4)
+			taken := r.Bool()
+			tp := tage.Prediction{Taken: r.Bool(), Conf: confs[r.Intn(3)], PCMix: num.Mix(pc >> 2)}
+			pred := c.Predict(pc, tp)
+			if check != nil {
+				check(i, pred)
+			}
+			c.Update(taken)
+			g.Push(taken)
+			path.Push(pc)
+			bank.Push(g)
+		}
+	}
+	drive(g1, path1, bank1, c1, rng, nil)
+
+	e := snap.NewEncoder()
+	g1.Snapshot(e)
+	path1.Snapshot(e)
+	bank1.Snapshot(e)
+	c1.Snapshot(e)
+	g2, path2, bank2, c2 := build()
+	d := snap.NewDecoder(e.Bytes())
+	for _, s := range []snap.Snapshotter{g2, path2, bank2, c2} {
+		if err := s.RestoreSnapshot(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cont := rng.State()
+	r1, r2 := num.NewRand(1), num.NewRand(1)
+	r1.SetState(cont)
+	r2.SetState(cont)
+	var preds []bool
+	drive(g1, path1, bank1, c1, r1, func(_ int, pred bool) { preds = append(preds, pred) })
+	i := 0
+	drive(g2, path2, bank2, c2, r2, func(step int, pred bool) {
+		if pred != preds[i] {
+			t.Fatalf("corrector prediction diverged at step %d", step)
+		}
+		i++
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/predictor"
+	"repro/internal/snap"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -17,7 +18,9 @@ import (
 // the store-key encoding changes in a way that alters simulated
 // counters or their addressing, so stale cache entries can never be
 // returned. Version 2: unambiguous (JSON) store-key encoding.
-const EngineVersion = 2
+// Version 3: versioned store layout (v<N>/ directories), predictor
+// snapshots, and the Exact key field.
+const EngineVersion = 3
 
 // DefaultShardWarmup is the functional warm-up length (in branch
 // records) a shard trains on before its measured segment when the
@@ -34,14 +37,36 @@ type EngineConfig struct {
 	// Shards splits each benchmark's branch budget into this many
 	// contiguous segments of the deterministic stream, simulated as
 	// independent work items; <=1 runs each benchmark unsharded. See
-	// DESIGN.md §5 for the accuracy tolerance sharding introduces.
+	// DESIGN.md §5 for the accuracy tolerance warm-up sharding
+	// introduces, and ExactShards for the bit-exact mode.
 	Shards int
 	// Warmup is the functional warm-up length per shard: how many
 	// records before its segment a shard's fresh predictor trains on
 	// unmeasured. 0 means DefaultShardWarmup; <0 disables warm-up.
+	// Ignored by ExactShards runs.
 	Warmup int
-	// Store, when non-nil, caches per-shard results on disk so
-	// repeated runs are incremental.
+	// Snapshots enables the predictor-state snapshot layer (DESIGN.md
+	// §8): unsharded runs persist their end-of-run predictor state in
+	// the Store and later, longer-budget runs of the same (config,
+	// trace, seed) resume from the longest cached prefix instead of
+	// record 0 — a budget sweep costs max(budget) simulation work
+	// instead of sum(budgets). Requires a Store (or CacheDir) to
+	// persist anything; predictors that do not implement
+	// predictor.Snapshotter silently run cold.
+	Snapshots bool
+	// ExactShards switches sharding from functional warm-up to
+	// boundary-snapshot chaining: a benchmark's shards execute as a
+	// chained partition of the contiguous stream, each starting from
+	// the exact predictor state at its boundary, so merged sharded
+	// counters are bit-identical to the unsharded run (no §5
+	// tolerance). A benchmark's shards serialize on one worker
+	// (parallelism comes from benchmarks and configurations), but each
+	// shard's result and each boundary state are cached individually,
+	// so re-runs and budget extensions stay incremental. Implies
+	// Snapshots.
+	ExactShards bool
+	// Store, when non-nil, caches per-shard results (and snapshots) on
+	// disk so repeated runs are incremental.
 	Store *Store
 	// CacheDir opens a Store rooted at the directory when Store is
 	// nil and the string is non-empty — the common case for callers
@@ -63,20 +88,33 @@ type EngineStats struct {
 	Simulated uint64
 	// CacheHits is the number of shard work items served by the store.
 	CacheHits uint64
+	// RecordsSimulated is the total number of branch records fed to
+	// predictors (replay, warm-up and measured) — the engine's total
+	// simulation work, the quantity snapshot resume exists to cut.
+	RecordsSimulated uint64
+	// Resumed is the number of work items that started from a cached
+	// predictor-state snapshot instead of record 0.
+	Resumed uint64
 }
 
 // Engine executes (configuration × benchmark × shard) work items over
 // a bounded worker pool, merging per-shard results into per-benchmark
 // Results. A fresh predictor instance is built per work item (the CBP
-// methodology: traces — and here shards — are independent runs).
+// methodology: traces — and here shards — are independent runs),
+// except when a cached snapshot supplies the exact state of a stream
+// prefix (Snapshots / ExactShards).
 type Engine struct {
 	workers   int
 	shards    int
 	warmup    int
+	snapshots bool
+	exact     bool
 	store     *Store
 	streams   *workload.StreamCache
 	simulated atomic.Uint64
 	hits      atomic.Uint64
+	records   atomic.Uint64
+	resumed   atomic.Uint64
 }
 
 // NewEngine returns an engine for the given configuration.
@@ -109,7 +147,11 @@ func NewEngine(cfg EngineConfig) *Engine {
 		}
 		cfg.Streams = workload.NewStreamCache(cfg.StreamMemory, spill)
 	}
-	return &Engine{workers: cfg.Workers, shards: cfg.Shards, warmup: cfg.Warmup, store: cfg.Store, streams: cfg.Streams}
+	return &Engine{
+		workers: cfg.Workers, shards: cfg.Shards, warmup: cfg.Warmup,
+		snapshots: cfg.Snapshots || cfg.ExactShards, exact: cfg.ExactShards,
+		store: cfg.Store, streams: cfg.Streams,
+	}
 }
 
 // StreamMemoryFromMiB maps a MiB-denominated -stream-mem flag value
@@ -132,7 +174,34 @@ func (e *Engine) Streams() *workload.StreamCache { return e.streams }
 
 // Stats returns cumulative work counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{Simulated: e.simulated.Load(), CacheHits: e.hits.Load()}
+	return EngineStats{
+		Simulated: e.simulated.Load(), CacheHits: e.hits.Load(),
+		RecordsSimulated: e.records.Load(), Resumed: e.resumed.Load(),
+	}
+}
+
+// forEach runs fn(i) for i in [0,n) over the engine's worker pool.
+func (e *Engine) forEach(n int, fn func(i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
 }
 
 // RunSuite simulates one configuration over every benchmark of a
@@ -142,51 +211,88 @@ func (e *Engine) Stats() EngineStats {
 // deterministic regardless of worker count.
 func (e *Engine) RunSuite(builder func() predictor.Predictor, name, suite string, benches []workload.Benchmark, budget int) SuiteRun {
 	run := SuiteRun{Config: name, Suite: suite, Results: make([]Result, len(benches))}
-
-	type item struct{ bench, shard int }
-	items := make([]item, 0, len(benches)*e.shards)
-	for bi := range benches {
-		for si := 0; si < e.shards; si++ {
-			items = append(items, item{bi, si})
-		}
-	}
 	shardRes := make([][]Result, len(benches))
-	for i := range shardRes {
-		shardRes[i] = make([]Result, e.shards)
-	}
-
 	var cached atomic.Uint64
-	workers := e.workers
-	if workers > len(items) {
-		workers = len(items)
-	}
-	feed := make(chan item)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for it := range feed {
-				res, hit := e.runShard(builder, name, suite, benches[it.bench], budget, it.shard)
-				if hit {
-					cached.Add(1)
-				}
-				shardRes[it.bench][it.shard] = res
+
+	if e.exact && e.shards > 1 {
+		// Exact mode: a benchmark's shards chain through boundary
+		// snapshots and so execute sequentially on one worker; the
+		// pool parallelizes across benchmarks.
+		e.forEach(len(benches), func(bi int) {
+			res, hit := e.runBenchExact(builder, name, suite, benches[bi], budget)
+			shardRes[bi] = res
+			cached.Add(uint64(hit))
+		})
+	} else {
+		type item struct{ bench, shard int }
+		items := make([]item, 0, len(benches)*e.shards)
+		for bi := range benches {
+			shardRes[bi] = make([]Result, e.shards)
+			for si := 0; si < e.shards; si++ {
+				items = append(items, item{bi, si})
 			}
-		}()
+		}
+		e.forEach(len(items), func(i int) {
+			it := items[i]
+			res, hit := e.runShard(builder, name, suite, benches[it.bench], budget, it.shard)
+			if hit {
+				cached.Add(1)
+			}
+			shardRes[it.bench][it.shard] = res
+		})
 	}
-	for _, it := range items {
-		feed <- it
-	}
-	close(feed)
-	wg.Wait()
 
 	for i := range benches {
 		run.Results[i] = MergeShards(shardRes[i])
 	}
-	run.RanShards = len(items) - int(cached.Load())
+	total := len(benches) * e.shards
+	run.RanShards = total - int(cached.Load())
 	run.CachedShards = int(cached.Load())
 	return run
+}
+
+// feedWindow advances p over a window of b's deterministic stream:
+// records before skip are not fed (they are either outside the
+// warm-up window or already incorporated in a restored snapshot),
+// records in [skip, start) train the predictor unmeasured, and records
+// in [start, end) are measured. It prefers the materialized stream
+// (DESIGN.md §6) and falls back to callback generation. Returns the
+// measured result, the stream position the predictor ended at, and the
+// number of records actually fed.
+func (e *Engine) feedWindow(p predictor.Predictor, b workload.Benchmark, budget, skip, start, end int) (res Result, finalPos, fed int) {
+	var stream *workload.Stream
+	if e.streams != nil {
+		stream = e.streams.Get(b, budget)
+	}
+	if stream != nil {
+		// The materialized stream is the full Generate(budget) output
+		// including the episode-granular overshoot, so an unsharded
+		// run's unbounded window clamps to the identical record set a
+		// plain Feed would see.
+		recs := stream.Records()
+		res = feedRecords(p, b.Name, recs, skip, start, end)
+		finalPos = len(recs)
+	} else {
+		genEnd := end
+		if end == noLimit {
+			genEnd = budget
+		}
+		seen := 0
+		res = feedSpan(p, b.Name, skip, start, end, func(emit func(trace.Record)) {
+			b.Generate(genEnd, func(r trace.Record) {
+				seen++
+				emit(r)
+			})
+		})
+		finalPos = seen
+	}
+	if end < finalPos {
+		finalPos = end
+	}
+	if fed = finalPos - skip; fed < 0 {
+		fed = 0
+	}
+	return res, finalPos, fed
 }
 
 // runShard serves one work item, from the store when possible. A
@@ -194,9 +300,9 @@ func (e *Engine) RunSuite(builder func() predictor.Predictor, name, suite string
 // (generated once per (trace, seed, budget) and shared across shards
 // and configurations; see DESIGN.md §6), discards records before its
 // warm-up window, trains unmeasured through the window, and measures
-// its segment. When materialization is disabled or the stream exceeds
-// the cache's memory bound, the shard falls back to regenerating the
-// stream prefix up to its segment end through the callback path.
+// its segment. Unsharded runs with the snapshot layer enabled first
+// look for a cached prefix snapshot to resume from, and persist their
+// end-of-run state for future longer-budget runs (DESIGN.md §8).
 func (e *Engine) runShard(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget, shard int) (Result, bool) {
 	key := Key{
 		Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
@@ -210,9 +316,9 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 	}
 	start := workload.ShardStart(budget, shard, e.shards)
 	end := start + workload.ShardBudget(budget, shard, e.shards)
-	warmStart := start - e.warmup
-	if warmStart < 0 {
-		warmStart = 0
+	skip := start - e.warmup
+	if skip < 0 {
+		skip = 0
 	}
 	measureEnd := end
 	if e.shards == 1 {
@@ -220,30 +326,210 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 		// overshoot, bit-identical to a plain Feed.
 		measureEnd = noLimit
 	}
-	p := builder()
-	var res Result
-	var stream *workload.Stream
-	if e.streams != nil {
-		stream = e.streams.Get(b, budget)
+	var p predictor.Predictor
+	var partial Result
+	canSnapshot := e.snapshots && e.shards == 1 && e.store != nil
+	if canSnapshot {
+		if rp, part, pos := e.tryResume(builder, config, suite, b, budget); rp != nil {
+			// The snapshot carries both the exact predictor state at
+			// pos and the counters measured over [0, pos); measurement
+			// continues at pos.
+			p, partial, skip, start = rp, part, pos, pos
+		}
 	}
-	if stream != nil {
-		// The materialized stream is the full Generate(budget) output
-		// including the episode-granular overshoot, so an unsharded
-		// run's unbounded window clamps to the identical record set a
-		// plain Feed would see.
-		res = feedRecords(p, b.Name, stream.Records(), warmStart, start, measureEnd)
-	} else {
-		res = feedSpan(p, b.Name, warmStart, start, measureEnd, func(emit func(trace.Record)) {
-			b.Generate(end, emit)
-		})
+	if p == nil {
+		p = builder()
 	}
+	res, finalPos, fed := e.feedWindow(p, b, budget, skip, start, measureEnd)
+	res.Instructions += partial.Instructions
+	res.Records += partial.Records
+	res.Conditionals += partial.Conditionals
+	res.Mispredicted += partial.Mispredicted
 	e.simulated.Add(1)
+	e.records.Add(uint64(fed))
 	if e.store != nil {
 		// Best-effort: a full disk or read-only cache directory must
 		// not fail the simulation; the run simply stays uncached.
 		_ = e.store.Save(key, res)
 	}
+	if canSnapshot && finalPos > 0 {
+		e.saveSnapshot(p, config, suite, b, finalPos, res)
+	}
 	return res, false
+}
+
+// runBenchExact simulates every shard of one benchmark as a chained
+// partition of the contiguous stream: shard i starts from the exact
+// predictor state at its segment boundary — restored from a cached
+// snapshot, or rebuilt by replaying the stream from the nearest
+// earlier one — so the merged results are bit-identical to the
+// unsharded run. Each shard's result and each boundary state are
+// persisted individually. Returns per-shard results and how many were
+// served from the store.
+func (e *Engine) runBenchExact(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget int) ([]Result, int) {
+	n := e.shards
+	results := make([]Result, n)
+	cached := 0
+	var p predictor.Predictor
+	pos := 0
+	for i := 0; i < n; i++ {
+		key := Key{
+			Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
+			Budget: budget, Seed: b.Seed, Shard: i, Shards: n, Exact: true,
+		}
+		if e.store != nil {
+			if res, ok := e.store.Load(key); ok {
+				e.hits.Add(1)
+				results[i] = res
+				cached++
+				// The live chain state is now behind this shard's end;
+				// a later uncached shard restores or replays instead.
+				p = nil
+				continue
+			}
+		}
+		start := workload.ShardStart(budget, i, e.shards)
+		end := start + workload.ShardBudget(budget, i, e.shards)
+		if i == n-1 {
+			// The final shard absorbs the generator's episode-granular
+			// overshoot, exactly like an unsharded run's tail.
+			end = noLimit
+		}
+		if p == nil || pos > start {
+			p, pos = e.restoreAtOrBefore(builder, config, suite, b, start)
+		}
+		// feedWindow replays [pos, start) as training — the exact
+		// records of the contiguous run, not an approximation — then
+		// measures [start, end).
+		res, finalPos, fed := e.feedWindow(p, b, budget, pos, start, end)
+		results[i] = res
+		pos = finalPos
+		e.simulated.Add(1)
+		e.records.Add(uint64(fed))
+		if e.store != nil {
+			_ = e.store.Save(key, res)
+			if finalPos > 0 {
+				// Persist the boundary state: it seeds shard i+1 on a
+				// later run, and — because the exact chain measures
+				// every record from 0 — the merged counters double as
+				// the budget-sweep resume payload.
+				e.saveSnapshot(p, config, suite, b, finalPos, MergeShards(results[:i+1]))
+			}
+		}
+	}
+	return results, cached
+}
+
+// tryResume restores the longest cached prefix snapshot usable for a
+// budget-`budget` run into a fresh predictor. Returns (nil, _, 0) when
+// no snapshot applies (or the predictor is not a Snapshotter).
+func (e *Engine) tryResume(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget int) (predictor.Predictor, Result, int) {
+	group := SnapKey{Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name, Seed: b.Seed}
+	for _, pos := range e.store.SnapshotPositions(group) {
+		// A snapshot past this run's budget would overshoot the
+		// measurement window (a shorter-budget run cannot un-simulate);
+		// positions are sorted descending, so keep scanning.
+		if pos > budget || pos <= 0 {
+			continue
+		}
+		k := group
+		k.Pos = pos
+		payload, ok := e.store.LoadSnapshot(k)
+		if !ok {
+			continue
+		}
+		p := builder()
+		sp, ok := p.(snap.Snapshotter)
+		if !ok {
+			return nil, Result{}, 0
+		}
+		partial, err := decodeSimState(payload, sp)
+		if err != nil {
+			// Corrupt or structurally mismatched snapshot: treat as a
+			// miss and try the next shorter prefix.
+			continue
+		}
+		e.resumed.Add(1)
+		return p, partial, pos
+	}
+	return nil, Result{}, 0
+}
+
+// restoreAtOrBefore returns a predictor holding the exact stream state
+// at the largest snapshotted position ≤ limit, or a fresh predictor at
+// position 0 when none is cached.
+func (e *Engine) restoreAtOrBefore(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, limit int) (predictor.Predictor, int) {
+	if e.store != nil {
+		group := SnapKey{Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name, Seed: b.Seed}
+		for _, pos := range e.store.SnapshotPositions(group) {
+			if pos > limit || pos <= 0 {
+				continue
+			}
+			k := group
+			k.Pos = pos
+			payload, ok := e.store.LoadSnapshot(k)
+			if !ok {
+				continue
+			}
+			p := builder()
+			sp, ok := p.(snap.Snapshotter)
+			if !ok {
+				break
+			}
+			if _, err := decodeSimState(payload, sp); err != nil {
+				continue
+			}
+			e.resumed.Add(1)
+			return p, pos
+		}
+	}
+	return builder(), 0
+}
+
+// saveSnapshot persists the predictor's state at stream position pos
+// together with the counters measured over [0, pos), best-effort.
+func (e *Engine) saveSnapshot(p predictor.Predictor, config, suite string, b workload.Benchmark, pos int, partial Result) {
+	sp, ok := p.(snap.Snapshotter)
+	if !ok {
+		return
+	}
+	k := SnapKey{Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name, Seed: b.Seed, Pos: pos}
+	if e.store.HasSnapshot(k) {
+		return
+	}
+	_ = e.store.SaveSnapshot(k, encodeSimState(partial, sp))
+}
+
+// encodeSimState serializes a snapshot payload: the partial result
+// counters over the simulated prefix, then the full predictor state.
+func encodeSimState(partial Result, p snap.Snapshotter) []byte {
+	enc := snap.NewEncoder()
+	enc.Begin("simstate", 1)
+	enc.U64(partial.Instructions)
+	enc.U64(partial.Records)
+	enc.U64(partial.Conditionals)
+	enc.U64(partial.Mispredicted)
+	p.Snapshot(enc)
+	return enc.Bytes()
+}
+
+// decodeSimState restores a snapshot payload into p and returns the
+// partial counters.
+func decodeSimState(payload []byte, p snap.Snapshotter) (Result, error) {
+	dec := snap.NewDecoder(payload)
+	dec.Expect("simstate", 1)
+	var partial Result
+	partial.Instructions = dec.U64()
+	partial.Records = dec.U64()
+	partial.Conditionals = dec.U64()
+	partial.Mispredicted = dec.U64()
+	if err := dec.Err(); err != nil {
+		return Result{}, err
+	}
+	if err := p.RestoreSnapshot(dec); err != nil {
+		return Result{}, err
+	}
+	return partial, nil
 }
 
 // MergeShards combines the per-shard results of one benchmark by

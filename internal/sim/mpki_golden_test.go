@@ -77,22 +77,78 @@ func TestMPKIBitIdentityAllConfigs(t *testing.T) {
 		}
 	}
 
-	path := filepath.Join("testdata", "mpki_golden.json")
-	if *updateGolden {
-		data, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("rewrote %s with %d entries", path, len(got))
+	if writeGoldenIfRequested(t, got) {
 		return
 	}
+	compareGolden(t, got, true)
+}
 
+// TestSpecCheckpointedMatchesGolden pins the documented invariant that
+// SpecCheckpointed — speculative history pushes at fetch, repaired from
+// per-branch checkpoints on mispredictions — is prediction-for-
+// prediction identical to SpecImmediate, for every golden composite
+// configuration, by checking its counts against the same golden file
+// the immediate-update sweep is pinned to.
+func TestSpecCheckpointedMatchesGolden(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are written by TestMPKIBitIdentityAllConfigs")
+	}
+	benches := goldenBenches(t)
+	configs := predictor.Names()
+	sort.Strings(configs)
+
+	var got []goldenCount
+	for _, cfg := range configs {
+		if _, ok := predictor.MustNew(cfg).(*predictor.Composite); !ok {
+			continue // bimodal/gshare adapters have no speculative hooks
+		}
+		for _, b := range benches {
+			res, err := RunSpecBenchmark(cfg, SpecCheckpointed, b, goldenBudget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, goldenCount{
+				Config:       cfg,
+				Trace:        res.Trace,
+				Instructions: res.Instructions,
+				Conditionals: res.Conditionals,
+				Mispredicted: res.Mispredicted,
+			})
+		}
+	}
+	compareGolden(t, got, false)
+}
+
+// writeGoldenIfRequested rewrites the golden file when -update is set,
+// reporting whether it did.
+func writeGoldenIfRequested(t *testing.T, got []goldenCount) bool {
+	t.Helper()
+	if !*updateGolden {
+		return false
+	}
+	path := filepath.Join("testdata", "mpki_golden.json")
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rewrote %s with %d entries", path, len(got))
+	return true
+}
+
+// compareGolden checks counts against the golden file. When complete
+// is set, got must cover every golden entry (the immediate-update
+// sweep); otherwise entries absent from got (non-composite configs in
+// the spec sweep) are simply not checked, but every got entry must
+// match its golden counterpart.
+func compareGolden(t *testing.T, got []goldenCount, complete bool) {
+	t.Helper()
+	path := filepath.Join("testdata", "mpki_golden.json")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden file (generate with -update): %v", err)
@@ -105,7 +161,7 @@ func TestMPKIBitIdentityAllConfigs(t *testing.T) {
 	for _, w := range want {
 		wantByKey[[2]string{w.Config, w.Trace}] = w
 	}
-	if len(got) != len(want) {
+	if complete && len(got) != len(want) {
 		t.Errorf("result count %d, golden has %d", len(got), len(want))
 	}
 	for _, g := range got {

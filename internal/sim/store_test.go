@@ -44,6 +44,7 @@ func TestStoreKeySensitivity(t *testing.T) {
 		func(k *Key) { k.Shard++ },
 		func(k *Key) { k.Shards++ },
 		func(k *Key) { k.Warmup++ },
+		func(k *Key) { k.Exact = true },
 	} {
 		k := base
 		mut(&k)
@@ -149,8 +150,11 @@ func TestStoreEntriesAreFannedOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	sub := filepath.Dir(rel)
-	if len(sub) != 2 {
+	if len(filepath.Base(sub)) != 2 {
 		t.Errorf("entry not fanned into a 2-hex subdirectory: %s", rel)
+	}
+	if filepath.Dir(sub) != versionDir(EngineVersion) {
+		t.Errorf("entry not under the engine version directory: %s", rel)
 	}
 	if _, err := os.Stat(p); err != nil {
 		t.Errorf("entry file missing: %v", err)

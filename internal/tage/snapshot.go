@@ -1,0 +1,63 @@
+package tage
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): the bimodal
+// base table, every tagged-table entry (counter, tag, usefulness), the
+// use_alt_on_na chooser, the aging tick, and the allocation PRNG state
+// (allocation randomisation consumes the PRNG, so bit-exact resume
+// must resume it). The folded registers live in the shared FoldedBank
+// and snapshot there; the per-branch index/tag scratch is dead at a
+// branch boundary and is not state.
+func (p *Predictor) Snapshot(e *snap.Encoder) {
+	e.Begin("tage", 1)
+	p.base.Snapshot(e)
+	e.U32(uint32(len(p.tables)))
+	for i := range p.tables {
+		t := &p.tables[i]
+		e.U32(uint32(len(t.entries)))
+		for j := range t.entries {
+			e.I8(t.entries[j].ctr)
+			e.U16(t.entries[j].tag)
+			e.U8(t.entries[j].u)
+		}
+	}
+	e.I8(p.useAltOnNA)
+	e.Int(p.tick)
+	e.U64(p.rng.State())
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (p *Predictor) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("tage", 1)
+	if err := p.base.RestoreSnapshot(d); err != nil {
+		return err
+	}
+	if n := int(d.U32()); d.Err() == nil && n != len(p.tables) {
+		d.Fail("tage: %d tagged tables where %d expected", n, len(p.tables))
+	}
+	for i := range p.tables {
+		t := &p.tables[i]
+		if n := int(d.U32()); d.Err() == nil && n != len(t.entries) {
+			d.Fail("tage: table %d has %d entries where %d expected", i, n, len(t.entries))
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		for j := range t.entries {
+			t.entries[j].ctr = d.I8()
+			t.entries[j].tag = d.U16()
+			t.entries[j].u = d.U8()
+		}
+	}
+	useAlt := d.I8()
+	tick := d.Int()
+	rng := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.useAltOnNA = useAlt
+	p.tick = tick
+	p.rng.SetState(rng)
+	return nil
+}

@@ -1,0 +1,100 @@
+package tage
+
+import (
+	"testing"
+
+	"repro/internal/hist"
+	"repro/internal/num"
+	"repro/internal/snap"
+)
+
+// TestSnapshotRoundTrip: a restored TAGE (bimodal base, every tagged
+// entry, chooser, tick, allocation PRNG) with restored shared
+// histories continues prediction-for-prediction identical to the
+// uninterrupted run — allocation decisions included, which is why the
+// PRNG state must ride in the snapshot.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(59)
+	cfg := Config{
+		NumTables: 6, MinHist: 4, MaxHist: 120,
+		LogEntries: []int{8}, TagBits: []int{8, 8, 9, 9, 10, 10},
+		CtrBits: 3, UBits: 2, BimodalLog: 10, ResetPeriod: 2048,
+	}
+	build := func() (*hist.Global, *hist.Path, *hist.FoldedBank, *Predictor) {
+		g := hist.NewGlobal(256)
+		path := hist.NewPath(27)
+		bank := hist.NewFoldedBank()
+		return g, path, bank, New(cfg, g, path, bank)
+	}
+	g1, path1, bank1, p1 := build()
+	drive := func(g *hist.Global, path *hist.Path, bank *hist.FoldedBank, p *Predictor, r *num.Rand, check func(step int, pr Prediction)) {
+		for i := 0; i < 6000; i++ {
+			pc := uint64(0xb000 + r.Intn(96)*4)
+			taken := (pc>>2)%5 == uint64(i)%5 || r.Intn(7) == 0
+			pr := p.Predict(pc)
+			if check != nil {
+				check(i, pr)
+			}
+			p.Update(pc, taken, pr)
+			g.Push(taken)
+			path.Push(pc)
+			bank.Push(g)
+		}
+	}
+	drive(g1, path1, bank1, p1, rng, nil)
+
+	e := snap.NewEncoder()
+	g1.Snapshot(e)
+	path1.Snapshot(e)
+	bank1.Snapshot(e)
+	p1.Snapshot(e)
+	g2, path2, bank2, p2 := build()
+	d := snap.NewDecoder(e.Bytes())
+	for _, s := range []snap.Snapshotter{g2, path2, bank2, p2} {
+		if err := s.RestoreSnapshot(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cont := rng.State()
+	r1, r2 := num.NewRand(1), num.NewRand(1)
+	r1.SetState(cont)
+	r2.SetState(cont)
+	type obs struct {
+		taken bool
+		conf  Confidence
+	}
+	var trace1 []obs
+	drive(g1, path1, bank1, p1, r1, func(_ int, pr Prediction) { trace1 = append(trace1, obs{pr.Taken, pr.Conf}) })
+	i := 0
+	drive(g2, path2, bank2, p2, r2, func(step int, pr Prediction) {
+		if (obs{pr.Taken, pr.Conf}) != trace1[i] {
+			t.Fatalf("TAGE diverged at step %d", step)
+		}
+		i++
+	})
+
+	// Final states must be byte-identical after identical continuation.
+	e1, e2 := snap.NewEncoder(), snap.NewEncoder()
+	p1.Snapshot(e1)
+	p2.Snapshot(e2)
+	if string(e1.Bytes()) != string(e2.Bytes()) {
+		t.Error("final TAGE states differ after identical continuation")
+	}
+}
+
+// TestSnapshotStructureMismatch: restoring into a TAGE with different
+// geometry must fail, not silently mis-assign tables.
+func TestSnapshotStructureMismatch(t *testing.T) {
+	g := hist.NewGlobal(256)
+	path := hist.NewPath(16)
+	cfgA := Config{NumTables: 4, MinHist: 4, MaxHist: 40, LogEntries: []int{7},
+		TagBits: []int{8}, CtrBits: 3, UBits: 2, BimodalLog: 9, ResetPeriod: 0}
+	cfgB := cfgA
+	cfgB.NumTables = 5
+	e := snap.NewEncoder()
+	New(cfgA, g, path, nil).Snapshot(e)
+	if err := New(cfgB, g, path, nil).RestoreSnapshot(snap.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("restore across table-count mismatch succeeded")
+	}
+}

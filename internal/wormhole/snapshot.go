@@ -1,0 +1,45 @@
+package wormhole
+
+import "repro/internal/snap"
+
+// Snapshot implements snap.Snapshotter (DESIGN.md §8): every tagged
+// entry with its long per-entry local history and satellite counters,
+// plus the allocation PRNG state.
+func (p *Predictor) Snapshot(e *snap.Encoder) {
+	e.Begin("wormhole", 1)
+	e.U32(uint32(len(p.entries)))
+	for i := range p.entries {
+		en := &p.entries[i]
+		e.Bool(en.valid)
+		e.U64(en.tag)
+		e.Uint64s(en.hist)
+		e.Int8s(en.ctrs[:])
+		e.U8(en.age)
+	}
+	e.U64(p.rng.State())
+}
+
+// RestoreSnapshot implements snap.Snapshotter.
+func (p *Predictor) RestoreSnapshot(d *snap.Decoder) error {
+	d.Expect("wormhole", 1)
+	if n := int(d.U32()); d.Err() == nil && n != len(p.entries) {
+		d.Fail("wormhole: %d entries where %d expected (snapshot from a different geometry?)", n, len(p.entries))
+	}
+	if d.Err() != nil {
+		return d.Err()
+	}
+	for i := range p.entries {
+		en := &p.entries[i]
+		en.valid = d.Bool()
+		en.tag = d.U64()
+		d.Uint64s(en.hist)
+		d.Int8s(en.ctrs[:])
+		en.age = d.U8()
+	}
+	rng := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	p.rng.SetState(rng)
+	return nil
+}

@@ -1,0 +1,73 @@
+package wormhole
+
+import (
+	"testing"
+
+	"repro/internal/loop"
+	"repro/internal/num"
+	"repro/internal/snap"
+)
+
+// TestSnapshotRoundTrip: a restored wormhole predictor (entries, long
+// per-entry histories, satellite counters, PRNG) continues identically
+// to the uninterrupted one. The shared loop predictor rides along, as
+// it does in a composite snapshot.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := num.NewRand(43)
+	build := func() (*loop.Predictor, *Predictor) {
+		lp := loop.New(loop.DefaultConfig())
+		return lp, New(DefaultConfig(), lp)
+	}
+	lp1, p1 := build()
+	const trip = 7
+	drive := func(lp *loop.Predictor, p *Predictor, r *num.Rand, check func(step int, pred, use bool)) {
+		for i := 0; i < 6000; i++ {
+			// A constant-trip inner loop: a loop-closing branch trains
+			// the loop predictor, and a body branch whose outcome
+			// depends on the previous outer iteration exercises WH.
+			loopPC := uint64(0x8000)
+			bodyPC := uint64(0x8040)
+			iter := i % trip
+			closing := iter != trip-1
+
+			bpred, use := p.Predict(bodyPC)
+			if check != nil {
+				check(i, bpred, use)
+			}
+			btaken := (i/trip+iter)%2 == 0
+			p.Update(bodyPC, btaken, r.Intn(3) == 0, false)
+
+			lpred, _ := lp.Predict(loopPC)
+			lp.Update(loopPC, closing, lpred != closing, true)
+			p.Update(loopPC, closing, false, true)
+		}
+	}
+	drive(lp1, p1, rng, nil)
+
+	e := snap.NewEncoder()
+	lp1.Snapshot(e)
+	p1.Snapshot(e)
+	lp2, p2 := build()
+	d := snap.NewDecoder(e.Bytes())
+	if err := lp2.RestoreSnapshot(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.RestoreSnapshot(d); err != nil {
+		t.Fatal(err)
+	}
+
+	cont := rng.State()
+	r1, r2 := num.NewRand(1), num.NewRand(1)
+	r1.SetState(cont)
+	r2.SetState(cont)
+	type obs struct{ pred, use bool }
+	var trace1 []obs
+	drive(lp1, p1, r1, func(_ int, pred, use bool) { trace1 = append(trace1, obs{pred, use}) })
+	i := 0
+	drive(lp2, p2, r2, func(step int, pred, use bool) {
+		if (obs{pred, use}) != trace1[i] {
+			t.Fatalf("wormhole prediction diverged at step %d", step)
+		}
+		i++
+	})
+}
