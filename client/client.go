@@ -1,0 +1,236 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to an imlid server. The zero value is not usable; use
+// New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8327".
+	BaseURL string
+	// HTTPClient performs the requests; nil means a default client.
+	// Watch holds its request open for the lifetime of the job, so a
+	// client with a global timeout will cut long streams short.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL (scheme + host +
+// optional port; any trailing slash is trimmed).
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{}
+}
+
+// Error is a non-2xx HTTP response from the server.
+type Error struct {
+	// StatusCode is the HTTP status; Message is the server's error
+	// body.
+	StatusCode int
+	Message    string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("imlid: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// errorBody is the server's error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var eb errorBody
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &Error{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits a job. The returned view's Dedup field reports
+// whether an existing job was returned instead of a new one.
+func (c *Client) Submit(ctx context.Context, spec Spec) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &j)
+	return j, err
+}
+
+// Job returns the current view of one job.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Jobs lists every job the server knows, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var js []Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &js)
+	return js, err
+}
+
+// Cancel cancels a queued or running job. Canceling a finished job is
+// a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil)
+}
+
+// Result returns a finished job's result payload. The server answers
+// 409 (an *Error here) while the job is still queued or running.
+func (c *Client) Result(ctx context.Context, id string) (Result, error) {
+	var r Result
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &r)
+	return r, err
+}
+
+// Stats returns the server's cumulative engine and job counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var s Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &s)
+	return s, err
+}
+
+// Catalog returns what the server can simulate: predictor
+// configurations, suites and their benchmarks, and experiment IDs.
+func (c *Client) Catalog(ctx context.Context) (Catalog, error) {
+	var cat Catalog
+	err := c.do(ctx, http.MethodGet, "/v1/catalog", nil, &cat)
+	return cat, err
+}
+
+// Watch streams a job's events (SSE) to fn, starting with a replay of
+// everything that already happened, until the job finishes, fn
+// returns an error, or ctx is canceled. fn errors are returned as-is;
+// a stream that ends with the job finished returns nil.
+func (c *Client) Watch(ctx context.Context, id string, fn func(Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return &Error{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data strings.Builder
+	finished := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() == 0 {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+				return fmt.Errorf("imlid: bad event payload: %w", err)
+			}
+			data.Reset()
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Type == "done" {
+				finished = true
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// "event:" and comment lines carry no payload we need: the
+			// event type is inside the JSON data.
+		}
+	}
+	if err := sc.Err(); err != nil && !finished {
+		return err
+	}
+	if !finished {
+		return fmt.Errorf("imlid: event stream ended before the job finished")
+	}
+	return nil
+}
+
+// Wait blocks until the job finishes and returns its final view. It
+// consumes the job's event stream; onEvent, when non-nil, observes
+// every event along the way.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (Job, error) {
+	var last Job
+	err := c.Watch(ctx, id, func(ev Event) error {
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.Job != nil {
+			last = *ev.Job
+		}
+		return nil
+	})
+	if err != nil {
+		return Job{}, err
+	}
+	return last, nil
+}
+
+// Run submits a spec, waits for the job to finish, and returns its
+// result — the one-call client round trip. A failed or canceled job
+// returns an error carrying the job's status and error text.
+func (c *Client) Run(ctx context.Context, spec Spec) (Result, error) {
+	j, err := c.Submit(ctx, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	final, err := c.Wait(ctx, j.ID, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	if final.Status != StatusDone {
+		return Result{}, fmt.Errorf("imlid: job %s %s: %s", final.ID, final.Status, final.Error)
+	}
+	return c.Result(ctx, final.ID)
+}

@@ -22,8 +22,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -38,12 +38,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "all", "experiment ID to run (see -list), or 'all'")
 	branches := fs.Int("branches", 250000, "branch records generated per trace")
-	parallel := fs.Int("parallel", 0, "max concurrent shard simulations (0 = GOMAXPROCS)")
-	shards := fs.Int("shards", 1, "shards per benchmark")
-	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
-	streamMem := fs.Int("stream-mem", 0, "materialized-stream cache size in MiB (0 = default, negative disables)")
-	snapshots := fs.Bool("snapshots", false, "persist predictor-state snapshots and resume longer-budget runs from cached prefixes (needs -cache-dir)")
-	exactShards := fs.Bool("exact-shards", false, "chain shard boundary snapshots so sharded results are bit-identical to unsharded runs")
+	eng := cliflags.Register(fs)
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	quiet := fs.Bool("q", false, "suppress per-suite progress lines")
 	if err := fs.Parse(argv); err != nil {
@@ -60,15 +55,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	params := experiments.Params{
-		Budget:       *branches,
-		Parallel:     *parallel,
-		Shards:       *shards,
-		CacheDir:     *cacheDir,
-		StreamMemory: sim.StreamMemoryFromMiB(*streamMem),
-		Snapshots:    *snapshots,
-		ExactShards:  *exactShards,
-	}
+	params := eng.Params(*branches)
 	if !*quiet {
 		params.Progress = stderr
 	}

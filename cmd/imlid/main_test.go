@@ -1,0 +1,47 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunOnce drives the full service loop — serve, submit, dedup,
+// SSE, result, bit-identity against the imlisim engine path — through
+// the -once self-test mode CI also runs as a smoke test.
+func TestRunOnce(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-once"}, &out, io.Discard); err != nil {
+		t.Fatalf("imlid -once: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "self-test ok") {
+		t.Errorf("self-test output missing ok line:\n%s", out.String())
+	}
+}
+
+// TestRunOnceSharded repeats the self-test with a sharded, snapshotted
+// engine: the reference run uses the same geometry, so bit-identity
+// must hold for every engine configuration a deployment might use.
+func TestRunOnceSharded(t *testing.T) {
+	var out strings.Builder
+	dir := t.TempDir()
+	args := []string{"-once", "-shards=3", "-exact-shards", "-cache-dir=" + dir}
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatalf("imlid %s: %v\n%s", strings.Join(args, " "), err, out.String())
+	}
+	if !strings.Contains(out.String(), "self-test ok") {
+		t.Errorf("self-test output missing ok line:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, io.Discard, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"-h"}, io.Discard, io.Discard); err != nil {
+		t.Errorf("-h should exit clean, got %v", err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"repro/internal/btb"
+	"repro/internal/cliflags"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -53,12 +54,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	bench := fs.String("bench", "", "run a single synthetic benchmark by name")
 	traceFile := fs.String("trace", "", "run an on-disk trace file")
 	branches := fs.Int("branches", 250000, "branch records per synthetic trace")
-	parallel := fs.Int("parallel", 0, "max concurrent shard simulations for suite/batch runs (0 = GOMAXPROCS)")
-	shards := fs.Int("shards", 1, "shards per benchmark (suite/batch runs)")
-	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (suite/batch runs)")
-	streamMem := fs.Int("stream-mem", 0, "materialized-stream cache size in MiB (0 = default, negative disables; suite/batch runs)")
-	snapshots := fs.Bool("snapshots", false, "persist predictor-state snapshots and resume longer-budget runs from cached prefixes (needs -cache-dir)")
-	exactShards := fs.Bool("exact-shards", false, "chain shard boundary snapshots so sharded results are bit-identical to unsharded runs")
+	eng := cliflags.Register(fs)
 	cachePrune := fs.Bool("cache-prune", false, "delete cache entries from stale engine versions under -cache-dir, then exit (unless a run is requested)")
 	allConfigs := fs.Bool("all-configs", false, "batch mode: run every registry configuration over -suite or -bench")
 	listPredictors := fs.Bool("predictors", false, "list predictor configurations and exit")
@@ -83,19 +79,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("conflicting source flags: pass exactly one of -suite, -bench, -trace")
 	}
 
-	engineConfig := func() sim.EngineConfig {
-		return sim.EngineConfig{
-			Workers: *parallel, Shards: *shards, CacheDir: *cacheDir,
-			StreamMemory: sim.StreamMemoryFromMiB(*streamMem),
-			Snapshots:    *snapshots, ExactShards: *exactShards,
-		}
-	}
-
 	if *cachePrune {
-		if *cacheDir == "" {
+		if eng.CacheDir == "" {
 			return fmt.Errorf("-cache-prune needs -cache-dir")
 		}
-		st, err := sim.OpenStore(*cacheDir).Prune(sim.EngineVersion)
+		st, err := sim.OpenStore(eng.CacheDir).Prune(sim.EngineVersion)
 		if err != nil {
 			return err
 		}
@@ -124,7 +112,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if *traceFile != "" {
 			return fmt.Errorf("-all-configs works on -suite or -bench, not -trace")
 		}
-		engine := sim.NewEngine(engineConfig())
+		engine := sim.NewEngine(eng.Config())
 		return runAllConfigs(stdout, engine, *suite, *bench, *branches)
 	case *traceFile != "":
 		return runTraceFile(stdout, *config, *traceFile)
@@ -154,7 +142,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if _, err := predictor.New(*config); err != nil {
 			return err
 		}
-		engine := sim.NewEngine(engineConfig())
+		engine := sim.NewEngine(eng.Config())
 		run := engine.RunSuite(func() predictor.Predictor { return predictor.MustNew(*config) },
 			*config, *suite, benches, *branches)
 		for _, res := range run.Results {
@@ -239,15 +227,9 @@ func runTraceFile(w io.Writer, config, path string) error {
 }
 
 func printResult(w io.Writer, r sim.Result) {
-	fmt.Fprintf(w, "%-14s %-12s %9d branches %10d instr  %7d misp  %6.3f MPKI  (%.2f%% misp rate)\n",
-		r.Predictor, r.Trace, r.Conditionals, r.Instructions, r.Mispredicted,
-		r.MPKI(), r.MispredictRate()*100)
+	fmt.Fprintln(w, sim.FormatResult(r))
 }
 
 func printSuiteLine(w io.Writer, run sim.SuiteRun) {
-	fmt.Fprintf(w, "%-14s avg over %d traces: %.3f MPKI", run.Config, len(run.Results), run.AvgMPKI())
-	if run.CachedShards > 0 {
-		fmt.Fprintf(w, "  (%d/%d shards cached)", run.CachedShards, run.CachedShards+run.RanShards)
-	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(w, sim.FormatSuiteLine(run))
 }

@@ -19,7 +19,10 @@
 //     worker pool, read each benchmark's stream from a shared
 //     once-per-run materialization, and can be cached on disk so
 //     repeated runs are incremental — including resuming longer-budget
-//     runs from snapshots of shorter ones.
+//     runs from snapshots of shorter ones;
+//   - the imlid evaluation service (NewService; daemon: cmd/imlid),
+//     which serves all of the above as deduplicated HTTP jobs with SSE
+//     progress, spoken to by the repro/client package.
 //
 // Quick start:
 //
@@ -37,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/predictor"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -177,6 +181,15 @@ func applyOptions(opts []Option) engineOptions {
 	return o
 }
 
+// engineConfig maps the collected options onto the engine's
+// configuration — the one place the facade's knobs meet sim.
+func (o engineOptions) engineConfig() sim.EngineConfig {
+	return sim.EngineConfig{
+		Workers: o.parallel, Shards: o.shards, CacheDir: o.cacheDir, StreamMemory: o.streamMem,
+		Snapshots: o.snapshots, ExactShards: o.exact,
+	}
+}
+
 // SimulateSuite runs a registry configuration over a whole suite
 // ("cbp4" or "cbp3") in parallel, honoring sharding and caching
 // options.
@@ -189,10 +202,7 @@ func SimulateSuite(config, suite string, budget int, opts ...Option) (SuiteRun, 
 		return SuiteRun{}, err
 	}
 	o := applyOptions(opts)
-	engine := sim.NewEngine(sim.EngineConfig{
-		Workers: o.parallel, Shards: o.shards, CacheDir: o.cacheDir, StreamMemory: o.streamMem,
-		Snapshots: o.snapshots, ExactShards: o.exact,
-	})
+	engine := sim.NewEngine(o.engineConfig())
 	builder := func() Predictor { return predictor.MustNew(config) }
 	return engine.RunSuite(builder, config, suite, benches, budget), nil
 }
@@ -230,6 +240,41 @@ const (
 // argument); SpecUnrepaired quantifies the cost of not checkpointing.
 func SimulateSpec(config string, mode SpecMode, b Benchmark, budget int) (Result, error) {
 	return sim.RunSpecBenchmark(config, mode, b, budget)
+}
+
+// Service is the imlid evaluation service: a long-running job server
+// over one shared simulation engine, accepting predictor-evaluation
+// and experiment-report jobs with in-flight deduplication and SSE
+// progress (DESIGN.md §9). Mount Handler on an HTTP server (or run
+// cmd/imlid); talk to it with the repro/client package.
+type Service = serve.Server
+
+// ServiceConfig sizes a Service beyond its engine: JobWorkers bounds
+// concurrently running jobs (<=0 means 2; simulation work inside jobs
+// is bounded engine-wide by WithParallel), QueueDepth bounds queued
+// jobs (<=0 means 1024), DefaultBudget fills submissions that omit a
+// budget (<=0 means the full-size 250000), and KeepJobs bounds the
+// retained finished-job history (<=0 means 1000; evicted jobs'
+// simulated work survives in the result store).
+type ServiceConfig struct {
+	JobWorkers    int
+	QueueDepth    int
+	DefaultBudget int
+	KeepJobs      int
+}
+
+// NewService returns a running evaluation service backed by an engine
+// built from the usual engine options. The caller owns its lifecycle:
+// serve its Handler, and stop it with Drain.
+func NewService(cfg ServiceConfig, opts ...Option) *Service {
+	o := applyOptions(opts)
+	return serve.NewServer(serve.Config{
+		Engine:        sim.NewEngine(o.engineConfig()),
+		JobWorkers:    cfg.JobWorkers,
+		QueueDepth:    cfg.QueueDepth,
+		DefaultBudget: cfg.DefaultBudget,
+		KeepJobs:      cfg.KeepJobs,
+	})
 }
 
 // Experiment reproduces one paper table or figure.

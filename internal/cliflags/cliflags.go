@@ -1,0 +1,77 @@
+// Package cliflags registers the engine flags shared by the command
+// line tools (imlisim, imlibench, imlireport, imlid), so the flag
+// names, defaults, wording, and the mapping onto sim.EngineConfig live
+// in one place — the audited single source the README table and
+// DESIGN.md §5–§9 describe. Tool-specific flags (imlisim's
+// -cache-prune, imlid's -addr, ...) stay with their tools.
+package cliflags
+
+import (
+	"flag"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// Engine holds the parsed values of the shared engine flags.
+type Engine struct {
+	// Parallel is -parallel: the engine-wide bound on concurrent shard
+	// simulations.
+	Parallel int
+	// Shards is -shards: work items per benchmark.
+	Shards int
+	// CacheDir is -cache-dir: the on-disk result store root.
+	CacheDir string
+	// StreamMemMiB is -stream-mem in MiB (0 default, negative
+	// disables).
+	StreamMemMiB int
+	// Snapshots is -snapshots; ExactShards is -exact-shards.
+	Snapshots   bool
+	ExactShards bool
+}
+
+// Register adds the shared engine flags to fs with the canonical
+// wording and defaults, returning the destination the parsed values
+// land in.
+func Register(fs *flag.FlagSet) *Engine {
+	e := &Engine{}
+	fs.IntVar(&e.Parallel, "parallel", 0,
+		"max concurrent shard simulations, engine-wide (0 = GOMAXPROCS)")
+	fs.IntVar(&e.Shards, "shards", 1,
+		"work items per benchmark: split each budget into contiguous stream segments (DESIGN.md §5)")
+	fs.StringVar(&e.CacheDir, "cache-dir", "",
+		"content-addressed result cache directory; repeated runs only simulate what is missing")
+	fs.IntVar(&e.StreamMemMiB, "stream-mem", 0,
+		"materialized-stream cache bound in MiB (0 = default, negative disables materialization; DESIGN.md §6)")
+	fs.BoolVar(&e.Snapshots, "snapshots", false,
+		"persist predictor-state snapshots and resume longer-budget runs from cached prefixes (needs -cache-dir; DESIGN.md §8)")
+	fs.BoolVar(&e.ExactShards, "exact-shards", false,
+		"chain shard boundary snapshots so sharded results are bit-identical to unsharded runs (implies -snapshots)")
+	return e
+}
+
+// Config maps the parsed flags onto an engine configuration.
+func (e *Engine) Config() sim.EngineConfig {
+	return sim.EngineConfig{
+		Workers:      e.Parallel,
+		Shards:       e.Shards,
+		CacheDir:     e.CacheDir,
+		StreamMemory: sim.StreamMemoryFromMiB(e.StreamMemMiB),
+		Snapshots:    e.Snapshots,
+		ExactShards:  e.ExactShards,
+	}
+}
+
+// Params maps the parsed flags onto experiment-harness parameters at
+// the given branch budget.
+func (e *Engine) Params(budget int) experiments.Params {
+	return experiments.Params{
+		Budget:       budget,
+		Parallel:     e.Parallel,
+		Shards:       e.Shards,
+		CacheDir:     e.CacheDir,
+		StreamMemory: sim.StreamMemoryFromMiB(e.StreamMemMiB),
+		Snapshots:    e.Snapshots,
+		ExactShards:  e.ExactShards,
+	}
+}

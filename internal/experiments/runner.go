@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -53,6 +54,21 @@ type Params struct {
 	// sharded results are bit-identical to unsharded runs (DESIGN.md
 	// §8) instead of carrying the §5 warm-up tolerance.
 	ExactShards bool
+	// Engine, when non-nil, executes the runner's suite simulations
+	// instead of a privately built engine, sharing its worker pool,
+	// stream cache, result store, and snapshots across runners — the
+	// way the imlid service (internal/serve, DESIGN.md §9) backs many
+	// concurrent jobs with one engine. Parallel, Shards, CacheDir,
+	// StreamMemory, Snapshots, and ExactShards are ignored when Engine
+	// is set: they are engine construction knobs.
+	Engine *sim.Engine
+	// Context, when non-nil, cancels the runner's simulations: suite
+	// runs started after cancellation return immediately and partially
+	// simulated ones stop at the next work-item boundary. A canceled
+	// runner's reports are built from partial counters and must be
+	// discarded (the service marks such jobs canceled); completed work
+	// items were stored normally, so a re-run is incremental.
+	Context context.Context
 }
 
 // DefaultParams runs the full-size evaluation.
@@ -80,12 +96,19 @@ func NewRunner(p Params) *Runner {
 	if p.Budget <= 0 {
 		p.Budget = DefaultParams().Budget
 	}
-	return &Runner{
-		params: p,
-		engine: sim.NewEngine(sim.EngineConfig{
+	if p.Context == nil {
+		p.Context = context.Background()
+	}
+	engine := p.Engine
+	if engine == nil {
+		engine = sim.NewEngine(sim.EngineConfig{
 			Workers: p.Parallel, Shards: p.Shards, CacheDir: p.CacheDir, StreamMemory: p.StreamMemory,
 			Snapshots: p.Snapshots, ExactShards: p.ExactShards,
-		}),
+		})
+	}
+	return &Runner{
+		params:  p,
+		engine:  engine,
 		suites:  workload.Suites(),
 		cache:   map[string]sim.SuiteRun{},
 		started: map[string]chan struct{}{},
@@ -153,7 +176,7 @@ func (r *Runner) suiteAt(cacheKey, suite string, builder func() predictor.Predic
 	benches := r.suites[suite]
 	r.mu.Unlock()
 
-	run := r.engine.RunSuite(builder, name, suite, benches, budget)
+	run, _ := r.engine.RunSuiteContext(r.params.Context, builder, name, suite, benches, budget, nil)
 
 	r.mu.Lock()
 	r.cache[cacheKey] = run

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/client"
+)
+
+// httpError carries an HTTP status through the server's internal
+// methods to the handler layer.
+type httpError struct {
+	code int
+	msg  string
+}
+
+// Error implements the error interface.
+func (e *httpError) Error() string { return e.msg }
+
+// Handler returns the server's HTTP API (see docs/API.md):
+//
+//	GET    /healthz              liveness (503 while draining)
+//	GET    /v1/catalog           predictors, suites, experiments
+//	GET    /v1/stats             engine + job counters
+//	POST   /v1/jobs              submit a job (client.Spec)
+//	GET    /v1/jobs              list jobs, newest first
+//	GET    /v1/jobs/{id}         one job's status
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/jobs/{id}/result  finished job's result (409 until done)
+//	GET    /v1/jobs/{id}/events  SSE progress stream (replay + live)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Catalog())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec client.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, &httpError{code: http.StatusBadRequest, msg: "bad job spec: " + err.Error()})
+		return
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+view.ID)
+	code := http.StatusCreated
+	if view.Dedup {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, view)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.Job(id)
+	if !ok {
+		writeError(w, &httpError{code: http.StatusNotFound, msg: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, &httpError{code: http.StatusNotFound, msg: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleEvents serves a job's event log as an SSE stream: a replay of
+// everything that already happened, then live tailing until the final
+// "done" event. Each event goes out as `event: <type>` plus a single
+// JSON `data:` line (the client parses the JSON only; the SSE event
+// name aids curl readability).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, &httpError{code: http.StatusNotFound, msg: "unknown job " + id})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &httpError{code: http.StatusInternalServerError, msg: "response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	from := 0
+	for {
+		evs, closed := j.waitEvents(r.Context(), from)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		from += len(evs)
+		if closed && len(evs) == 0 {
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -111,6 +112,12 @@ type Engine struct {
 	exact     bool
 	store     *Store
 	streams   *workload.StreamCache
+	// sem is the engine-wide worker bound: every work item, from every
+	// concurrent RunSuite call sharing this engine, holds one slot
+	// while it simulates. Long-running services (internal/serve) rely
+	// on this to run many jobs over one engine without oversubscribing
+	// the machine.
+	sem       chan struct{}
 	simulated atomic.Uint64
 	hits      atomic.Uint64
 	records   atomic.Uint64
@@ -151,6 +158,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		workers: cfg.Workers, shards: cfg.Shards, warmup: cfg.Warmup,
 		snapshots: cfg.Snapshots || cfg.ExactShards, exact: cfg.ExactShards,
 		store: cfg.Store, streams: cfg.Streams,
+		sem: make(chan struct{}, cfg.Workers),
 	}
 }
 
@@ -180,28 +188,86 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// ItemEvent reports one completed engine work item (one shard of one
+// benchmark) to a RunSuiteContext progress callback.
+type ItemEvent struct {
+	// Config, Suite and Trace identify the work item's simulation.
+	Config, Suite, Trace string
+	// Shard is the work item's shard index within its benchmark.
+	Shard int
+	// Done counts work items completed so far in this RunSuiteContext
+	// call; Total is the number the call will execute. Done == Total
+	// on the final event.
+	Done, Total int
+	// Cached reports that the item was served from the result store
+	// instead of simulated.
+	Cached bool
+}
+
 // forEach runs fn(i) for i in [0,n) over the engine's worker pool.
-func (e *Engine) forEach(n int, fn func(i int)) {
-	workers := e.workers
-	if workers > n {
-		workers = n
+// The concurrency bound is engine-wide: each running fn holds one of
+// the engine's worker slots, so concurrent forEach calls (concurrent
+// suite runs, concurrent service jobs) never exceed cfg.Workers
+// in-flight items between them. When ctx is canceled, remaining items
+// are skipped (in-flight ones complete — work items are the engine's
+// atomic unit, so the result store never sees a torn entry). A panic
+// on a work item stops the run and is re-raised on the calling
+// goroutine, so callers' recover semantics (the imlid service fails
+// the one job; the CLIs crash loudly) hold no matter which worker hit
+// it.
+func (e *Engine) forEach(ctx context.Context, n int, fn func(i int)) {
+	launchers := e.workers
+	if launchers > n {
+		launchers = n
 	}
 	feed := make(chan int)
+	stop := make(chan struct{})
+	var panicMu sync.Mutex
+	var panicVal any
+	panicked := false
+	runOne := func(i int) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if !panicked {
+					panicked, panicVal = true, r
+					close(stop)
+				}
+				panicMu.Unlock()
+			}
+		}()
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		fn(i)
+		return true
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < launchers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				fn(i)
+				if !runOne(i) {
+					return
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		feed <- i
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		case <-stop:
+			break dispatch
+		}
 	}
 	close(feed)
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
 }
 
 // RunSuite simulates one configuration over every benchmark of a
@@ -210,45 +276,72 @@ func (e *Engine) forEach(n int, fn func(i int)) {
 // what builder builds). Results come back in benchmark order and are
 // deterministic regardless of worker count.
 func (e *Engine) RunSuite(builder func() predictor.Predictor, name, suite string, benches []workload.Benchmark, budget int) SuiteRun {
+	run, _ := e.RunSuiteContext(context.Background(), builder, name, suite, benches, budget, nil)
+	return run
+}
+
+// RunSuiteContext is RunSuite with cancellation and per-item progress.
+// When ctx is canceled the run stops scheduling work items and returns
+// the context's error; the partial SuiteRun must be discarded (skipped
+// benchmarks read as zero results), but every item that did complete
+// was stored normally, so a re-run is incremental. onItem, when
+// non-nil, is invoked after each completed work item; calls are
+// serialized and Done is strictly increasing, so callers may forward
+// events without locking.
+func (e *Engine) RunSuiteContext(ctx context.Context, builder func() predictor.Predictor, name, suite string, benches []workload.Benchmark, budget int, onItem func(ItemEvent)) (SuiteRun, error) {
 	run := SuiteRun{Config: name, Suite: suite, Results: make([]Result, len(benches))}
 	shardRes := make([][]Result, len(benches))
 	var cached atomic.Uint64
+	total := len(benches) * e.shards
+	var progressMu sync.Mutex
+	done := 0
+	emit := func(trace string, shard int, hit bool) {
+		if onItem == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		ev := ItemEvent{Config: name, Suite: suite, Trace: trace, Shard: shard,
+			Done: done, Total: total, Cached: hit}
+		onItem(ev)
+		progressMu.Unlock()
+	}
 
 	if e.exact && e.shards > 1 {
 		// Exact mode: a benchmark's shards chain through boundary
 		// snapshots and so execute sequentially on one worker; the
 		// pool parallelizes across benchmarks.
-		e.forEach(len(benches), func(bi int) {
-			res, hit := e.runBenchExact(builder, name, suite, benches[bi], budget)
+		e.forEach(ctx, len(benches), func(bi int) {
+			res, hit := e.runBenchExact(ctx, builder, name, suite, benches[bi], budget, emit)
 			shardRes[bi] = res
 			cached.Add(uint64(hit))
 		})
 	} else {
 		type item struct{ bench, shard int }
-		items := make([]item, 0, len(benches)*e.shards)
+		items := make([]item, 0, total)
 		for bi := range benches {
 			shardRes[bi] = make([]Result, e.shards)
 			for si := 0; si < e.shards; si++ {
 				items = append(items, item{bi, si})
 			}
 		}
-		e.forEach(len(items), func(i int) {
+		e.forEach(ctx, len(items), func(i int) {
 			it := items[i]
 			res, hit := e.runShard(builder, name, suite, benches[it.bench], budget, it.shard)
 			if hit {
 				cached.Add(1)
 			}
 			shardRes[it.bench][it.shard] = res
+			emit(benches[it.bench].Name, it.shard, hit)
 		})
 	}
 
 	for i := range benches {
 		run.Results[i] = MergeShards(shardRes[i])
 	}
-	total := len(benches) * e.shards
 	run.RanShards = total - int(cached.Load())
 	run.CachedShards = int(cached.Load())
-	return run
+	return run, ctx.Err()
 }
 
 // feedWindow advances p over a window of b's deterministic stream:
@@ -364,15 +457,19 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 // snapshot, or rebuilt by replaying the stream from the nearest
 // earlier one — so the merged results are bit-identical to the
 // unsharded run. Each shard's result and each boundary state are
-// persisted individually. Returns per-shard results and how many were
-// served from the store.
-func (e *Engine) runBenchExact(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget int) ([]Result, int) {
+// persisted individually. A canceled ctx stops the chain at the next
+// shard boundary (completed shards are already stored). Returns
+// per-shard results and how many were served from the store.
+func (e *Engine) runBenchExact(ctx context.Context, builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget int, emit func(trace string, shard int, hit bool)) ([]Result, int) {
 	n := e.shards
 	results := make([]Result, n)
 	cached := 0
 	var p predictor.Predictor
 	pos := 0
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return results, cached
+		}
 		key := Key{
 			Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
 			Budget: budget, Seed: b.Seed, Shard: i, Shards: n, Exact: true,
@@ -382,6 +479,7 @@ func (e *Engine) runBenchExact(builder func() predictor.Predictor, config, suite
 				e.hits.Add(1)
 				results[i] = res
 				cached++
+				emit(b.Name, i, true)
 				// The live chain state is now behind this shard's end;
 				// a later uncached shard restores or replays instead.
 				p = nil
@@ -416,6 +514,7 @@ func (e *Engine) runBenchExact(builder func() predictor.Predictor, config, suite
 				e.saveSnapshot(p, config, suite, b, finalPos, MergeShards(results[:i+1]))
 			}
 		}
+		emit(b.Name, i, false)
 	}
 	return results, cached
 }

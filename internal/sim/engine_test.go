@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/predictor"
@@ -236,5 +237,32 @@ func TestMergeShards(t *testing.T) {
 	}
 	if (MergeShards(nil) != Result{}) {
 		t.Error("empty merge not zero")
+	}
+}
+
+// TestWorkerPanicReraisedOnCaller pins the engine's panic contract: a
+// panic on a pool worker's work item stops the run and re-raises on
+// the goroutine that called RunSuite, so callers' recover semantics
+// (the imlid service fails the one job; the CLIs crash loudly) hold no
+// matter which worker hit it — and the engine-wide semaphore slot is
+// released, so the engine stays usable afterwards.
+func TestWorkerPanicReraisedOnCaller(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2})
+	benches := workload.CBP4()[:3]
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("worker panic was not re-raised on the caller")
+			} else if fmt.Sprint(r) != "boom" {
+				t.Errorf("re-raised %v, want the original panic value", r)
+			}
+		}()
+		e.RunSuite(func() predictor.Predictor { panic("boom") }, "boom-config", "cbp4", benches, 1000)
+	}()
+	// The engine survives: a healthy run on the same engine completes.
+	run := e.RunSuite(func() predictor.Predictor { return predictor.MustNew("bimodal") },
+		"bimodal", "cbp4", benches, 1000)
+	if len(run.Results) != 3 || run.Results[0].Records == 0 {
+		t.Fatalf("engine unusable after recovered panic: %+v", run.Results)
 	}
 }

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/predictor"
@@ -40,6 +41,27 @@ func (r Result) MispredictRate() float64 {
 		return 0
 	}
 	return float64(r.Mispredicted) / float64(r.Conditionals)
+}
+
+// FormatResult renders the one-line human summary of a result — the
+// exact line imlisim prints per trace. The imlid service embeds the
+// same line in job results, so "service output is bit-identical to the
+// CLI" is a single-format-string property rather than a convention.
+func FormatResult(r Result) string {
+	return fmt.Sprintf("%-14s %-12s %9d branches %10d instr  %7d misp  %6.3f MPKI  (%.2f%% misp rate)",
+		r.Predictor, r.Trace, r.Conditionals, r.Instructions, r.Mispredicted,
+		r.MPKI(), r.MispredictRate()*100)
+}
+
+// FormatSuiteLine renders the suite-average summary line imlisim
+// prints after a suite run, with cache accounting when any shard was
+// served from the result store.
+func FormatSuiteLine(run SuiteRun) string {
+	s := fmt.Sprintf("%-14s avg over %d traces: %.3f MPKI", run.Config, len(run.Results), run.AvgMPKI())
+	if run.CachedShards > 0 {
+		s += fmt.Sprintf("  (%d/%d shards cached)", run.CachedShards, run.CachedShards+run.RanShards)
+	}
+	return s
 }
 
 // Feed runs the predictor over a stream of records delivered by gen
