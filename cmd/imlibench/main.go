@@ -10,6 +10,7 @@
 //	imlibench -exp=all                 # every experiment, full size
 //	imlibench -exp=fig8 -branches=100000
 //	imlibench -exp=all -shards=4 -cache-dir=.imli-cache
+//	imlibench -exp=seeds -seeds=5      # 5-seed sweep: mean ± CI, paired tests
 //	imlibench -list
 package main
 
@@ -39,6 +40,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	exp := fs.String("exp", "all", "experiment ID to run (see -list), or 'all'")
 	branches := fs.Int("branches", 250000, "branch records generated per trace")
 	eng := cliflags.Register(fs)
+	seeds := cliflags.RegisterSeeds(fs)
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	quiet := fs.Bool("q", false, "suppress per-suite progress lines")
 	if err := fs.Parse(argv); err != nil {
@@ -56,6 +58,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	params := eng.Params(*branches)
+	seedList, err := cliflags.SeedList(*seeds)
+	if err != nil {
+		return err
+	}
+	params.Seeds = seedList
 	if !*quiet {
 		params.Progress = stderr
 	}

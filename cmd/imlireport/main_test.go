@@ -52,3 +52,27 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+func TestRunSeedsExperiment(t *testing.T) {
+	var stdout strings.Builder
+	err := run([]string{"-out=-", "-exp=seeds", "-branches=1500", "-seeds=2", "-q"},
+		&stdout, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := stdout.String()
+	if !strings.Contains(doc, "-seeds=2") {
+		t.Error("header does not record the seed count")
+	}
+	for _, want := range []string{"## seeds —", "±", "`paired.tage-gsc+imli.cbp4.mean`"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("seeds section missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadSeeds(t *testing.T) {
+	if err := run([]string{"-out=-", "-exp=storage", "-seeds=0"}, io.Discard, io.Discard); err == nil {
+		t.Error("-seeds=0 accepted")
+	}
+}

@@ -19,6 +19,7 @@
 //	imlisim -predictor=tage-gsc -trace=out/SPEC2K6-12.imlt
 //	imlisim -suite=cbp4 -all-configs -shards=4 -cache-dir=.imli-cache
 //	imlisim -suite=cbp4 -branches=200000 -snapshots -cache-dir=.imli-cache
+//	imlisim -predictor=tage-gsc -suite=cbp4 -seeds=5   # mean ± 95% CI per trace
 //	imlisim -cache-dir=.imli-cache -cache-prune
 //	imlisim -predictors            # list configurations
 package main
@@ -35,6 +36,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/predictor"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -55,6 +57,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	traceFile := fs.String("trace", "", "run an on-disk trace file")
 	branches := fs.Int("branches", 250000, "branch records per synthetic trace")
 	eng := cliflags.Register(fs)
+	seeds := cliflags.RegisterSeeds(fs)
 	cachePrune := fs.Bool("cache-prune", false, "delete cache entries from stale engine versions under -cache-dir, then exit (unless a run is requested)")
 	allConfigs := fs.Bool("all-configs", false, "batch mode: run every registry configuration over -suite or -bench")
 	listPredictors := fs.Bool("predictors", false, "list predictor configurations and exit")
@@ -77,6 +80,24 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	}
 	if sources > 1 {
 		return fmt.Errorf("conflicting source flags: pass exactly one of -suite, -bench, -trace")
+	}
+
+	seedList, err := cliflags.SeedList(*seeds)
+	if err != nil {
+		return err
+	}
+	if len(seedList) > 0 {
+		// A seed sweep reruns the deterministic synthetic streams under
+		// remixed seeds; an on-disk trace has exactly one instance, and
+		// the batch ranking would need a third table dimension.
+		switch {
+		case *traceFile != "":
+			return fmt.Errorf("-seeds applies to synthetic workloads (-suite or -bench), not -trace")
+		case *allConfigs:
+			return fmt.Errorf("-seeds does not combine with -all-configs; sweep one -predictor at a time")
+		case *targets:
+			return fmt.Errorf("-seeds does not combine with -targets")
+		}
 	}
 
 	if *cachePrune {
@@ -121,6 +142,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if len(seedList) > 0 {
+			return runBenchSweep(stdout, *config, b, *branches, seedList)
+		}
 		res, err := sim.RunBenchmark(*config, b, *branches)
 		if err != nil {
 			return err
@@ -143,6 +167,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		engine := sim.NewEngine(eng.Config())
+		if len(seedList) > 0 {
+			return runSuiteSweep(stdout, engine, *config, *suite, benches, *branches, seedList)
+		}
 		run := engine.RunSuite(func() predictor.Predictor { return predictor.MustNew(*config) },
 			*config, *suite, benches, *branches)
 		for _, res := range run.Results {
@@ -202,6 +229,77 @@ func runAllConfigs(w io.Writer, engine *sim.Engine, suite, bench string, branche
 			r.run.CachedShards, r.run.CachedShards+r.run.RanShards)
 	}
 	return nil
+}
+
+// runSuiteSweep fans one configuration's suite run out over stream
+// seeds (work items flow through the same engine, so sharding,
+// caching, and snapshots apply per seed) and prints per-trace
+// mean ± 95% CI columns instead of single-seed MPKI lines.
+func runSuiteSweep(w io.Writer, engine *sim.Engine, config, suite string, benches []workload.Benchmark, branches int, seeds []int64) error {
+	runs := make([]sim.SuiteRun, len(seeds))
+	for i, s := range seeds {
+		runs[i] = engine.RunSuite(func() predictor.Predictor { return predictor.MustNew(config) },
+			config, suite, workload.Reseed(benches, s), branches)
+	}
+	t := &stats.Table{Header: []string{"trace", fmt.Sprintf("MPKI mean ± %.0f%% CI", stats.DefaultConfidence*100), "stddev"}}
+	for bi := range benches {
+		xs := make([]float64, len(runs))
+		for i, run := range runs {
+			xs[i] = run.Results[bi].MPKI()
+		}
+		sum := stats.Summarize(xs, stats.DefaultConfidence)
+		t.AddRow(benches[bi].Name, sum.FormatMeanCI(), stats.F(sum.Stddev))
+	}
+	fmt.Fprint(w, t.String())
+	avg := stats.Summarize(sweepAvgMPKI(runs), stats.DefaultConfidence)
+	line := fmt.Sprintf("%-14s avg over %d traces, %d seeds: %s MPKI",
+		config, len(benches), len(seeds), avg.FormatMeanCI())
+	if cachedShards := sumCached(runs); cachedShards > 0 {
+		line += fmt.Sprintf("  (%d/%d shards cached)", cachedShards, cachedShards+sumRan(runs))
+	}
+	fmt.Fprintln(w, line)
+	return nil
+}
+
+// runBenchSweep sweeps a single benchmark across stream seeds and
+// prints the distributional summary line.
+func runBenchSweep(w io.Writer, config string, b workload.Benchmark, branches int, seeds []int64) error {
+	xs := make([]float64, 0, len(seeds))
+	for _, s := range seeds {
+		res, err := sim.RunBenchmark(config, b.Reseeded(s), branches)
+		if err != nil {
+			return err
+		}
+		xs = append(xs, res.MPKI())
+	}
+	sum := stats.Summarize(xs, stats.DefaultConfidence)
+	fmt.Fprintf(w, "%-14s %-12s %d seeds: %s MPKI (stddev %.3f)\n",
+		config, b.Name, len(seeds), sum.FormatMeanCI(), sum.Stddev)
+	return nil
+}
+
+func sweepAvgMPKI(runs []sim.SuiteRun) []float64 {
+	out := make([]float64, len(runs))
+	for i, run := range runs {
+		out[i] = run.AvgMPKI()
+	}
+	return out
+}
+
+func sumCached(runs []sim.SuiteRun) int {
+	n := 0
+	for _, run := range runs {
+		n += run.CachedShards
+	}
+	return n
+}
+
+func sumRan(runs []sim.SuiteRun) int {
+	n := 0
+	for _, run := range runs {
+		n += run.RanShards
+	}
+	return n
 }
 
 func runTraceFile(w io.Writer, config, path string) error {

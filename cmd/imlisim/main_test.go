@@ -117,6 +117,70 @@ func TestRunCachePrune(t *testing.T) {
 	}
 }
 
+func TestRunSuiteSeedSweep(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=1000", "-seeds=3"},
+		&out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "±") {
+		t.Errorf("sweep output has no ± columns: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "3 seeds:") {
+		t.Errorf("sweep output missing the seed count: %q", out.String())
+	}
+
+	// The sweep must be deterministic run to run.
+	var again strings.Builder
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=1000", "-seeds=3"},
+		&again, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != again.String() {
+		t.Error("seed sweep output differs between identical runs")
+	}
+
+	// -seeds=1 is the plain single-seed path, unchanged output format.
+	var single, plain strings.Builder
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=1000", "-seeds=1"},
+		&single, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-predictor=gshare", "-suite=cbp4", "-branches=1000"},
+		&plain, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if single.String() != plain.String() {
+		t.Error("-seeds=1 changed the single-seed output")
+	}
+}
+
+func TestRunBenchSeedSweep(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-predictor=gshare", "-bench=MM-4", "-branches=1000", "-seeds=2"},
+		&out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 seeds:") || !strings.Contains(out.String(), "±") {
+		t.Errorf("bench sweep output: %q", out.String())
+	}
+}
+
+func TestRunSeedsFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-seeds=0", "-suite=cbp4"},   // below the minimum of 1
+		{"-seeds=2", "-trace=x.imlt"}, // sweeps need synthetic streams
+		{"-seeds=2", "-suite=cbp4", "-all-configs"},
+		{"-seeds=2", "-bench=MM-4", "-targets"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{},                                 // nothing to do

@@ -14,7 +14,8 @@
 //   - the experiment harness that regenerates every table and figure of
 //     the paper (Experiments, RunExperiment);
 //   - engine controls for both (WithParallel, WithShards, WithCacheDir,
-//     WithStreamCache, WithSnapshots, WithExactSharding, WithProgress):
+//     WithStreamCache, WithSnapshots, WithExactSharding, WithSeeds,
+//     WithProgress):
 //     suite runs fan (benchmark × shard) work items over a bounded
 //     worker pool, read each benchmark's stream from a shared
 //     once-per-run materialization, and can be cached on disk so
@@ -128,6 +129,7 @@ type engineOptions struct {
 	streamMem int64
 	snapshots bool
 	exact     bool
+	seeds     []int64
 	progress  io.Writer
 }
 
@@ -168,6 +170,17 @@ func WithSnapshots(on bool) Option { return func(o *engineOptions) { o.snapshots
 // serializing each benchmark's shards on one worker. Implies
 // WithSnapshots.
 func WithExactSharding(on bool) Option { return func(o *engineOptions) { o.exact = on } }
+
+// WithSeeds fans experiment simulations out over stream-seed variants
+// (DESIGN.md §10): seed 0 is the base stream every single-seed run
+// reports, other values deterministically remix each benchmark's seed.
+// Seed-sweep experiments (the "seeds" experiment, and any experiment
+// calling the runner's sweep primitives) report mean ± CI over the
+// listed seeds instead of a point estimate. The list must be
+// duplicate-free; RunExperiment rejects duplicates with an error.
+func WithSeeds(seeds ...int64) Option {
+	return func(o *engineOptions) { o.seeds = append([]int64(nil), seeds...) }
+}
 
 // WithProgress streams per-suite progress lines (with cache
 // accounting) to w while an experiment runs.
@@ -297,6 +310,9 @@ func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, err
 		return ExperimentReport{}, err
 	}
 	o := applyOptions(opts)
+	if err := experiments.CheckSeeds(o.seeds); err != nil {
+		return ExperimentReport{}, err
+	}
 	r := experiments.NewRunner(experiments.Params{
 		Budget:       budget,
 		Parallel:     o.parallel,
@@ -305,6 +321,7 @@ func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, err
 		StreamMemory: o.streamMem,
 		Snapshots:    o.snapshots,
 		ExactShards:  o.exact,
+		Seeds:        o.seeds,
 		Progress:     o.progress,
 	})
 	return e.Run(r), nil

@@ -87,6 +87,26 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 }
 
+func TestFacadeSeeds(t *testing.T) {
+	// Duplicate seeds are rejected as an error, not a panic: a
+	// duplicated seed would double-weight one stream instance in every
+	// reported mean and interval.
+	if _, err := imli.RunExperiment("seeds", 1000, imli.WithSeeds(1, 1)); err == nil {
+		t.Error("duplicate seed list accepted")
+	}
+
+	rep, err := imli.RunExperiment("seeds", 1500, imli.WithSeeds(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["seeds"] != 2 {
+		t.Errorf("sweep ran %v seeds, want 2", rep.Values["seeds"])
+	}
+	if !strings.Contains(rep.Text, "±") {
+		t.Error("seed-sweep report has no ± columns")
+	}
+}
+
 func TestFacadeSuiteRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation")

@@ -8,6 +8,7 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -48,6 +49,24 @@ func Register(fs *flag.FlagSet) *Engine {
 	fs.BoolVar(&e.ExactShards, "exact-shards", false,
 		"chain shard boundary snapshots so sharded results are bit-identical to unsharded runs (implies -snapshots)")
 	return e
+}
+
+// RegisterSeeds adds the shared -seeds flag with the canonical wording.
+// It is opt-in rather than part of Register because only the tools
+// that fan simulations out over stream seeds take it (imlisim,
+// imlibench, imlireport); imlid jobs carry their own parameters.
+func RegisterSeeds(fs *flag.FlagSet) *int {
+	return fs.Int("seeds", 1,
+		"stream-seed variants per benchmark: fan runs out over seeds 0..N-1 and report mean ± 95% CI (DESIGN.md §10)")
+}
+
+// SeedList validates a parsed -seeds count and expands it to the seed
+// list experiment parameters take (nil for a single seed).
+func SeedList(n int) ([]int64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("-seeds must be at least 1, got %d", n)
+	}
+	return experiments.SeedList(n), nil
 }
 
 // Config maps the parsed flags onto an engine configuration.

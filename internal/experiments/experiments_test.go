@@ -8,7 +8,7 @@ import (
 func TestRegistry(t *testing.T) {
 	wanted := []string{
 		"e1", "e2", "fig8", "fig9", "fig10", "fig11", "e7", "e8",
-		"fig13", "e10", "table1", "table2", "storage", "record", "e15", "ablation", "spec", "scaling", "localspec",
+		"fig13", "e10", "table1", "table2", "storage", "record", "e15", "ablation", "spec", "scaling", "localspec", "seeds",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {

@@ -69,6 +69,45 @@ type Params struct {
 	// discarded (the service marks such jobs canceled); completed work
 	// items were stored normally, so a re-run is incremental.
 	Context context.Context
+	// Seeds lists the stream-seed variants a seed sweep fans out over
+	// (DESIGN.md §10). Nil or empty means {0}: the base seed only,
+	// bit-identical to a pre-seed-dimension run. Variant 0 is always
+	// the base stream; other variants deterministically remix every
+	// benchmark's seed (workload.Benchmark.Reseeded), so per-seed runs
+	// reuse the result store, snapshots, and exact sharding unchanged —
+	// the seed is already part of every store key. The list must be
+	// duplicate-free (CheckSeeds): a duplicated seed would silently
+	// double-weight one stream instance in every mean and interval.
+	// NewRunner panics on duplicates; callers accepting user input
+	// validate with CheckSeeds first (the facade and CLIs do).
+	Seeds []int64
+}
+
+// CheckSeeds rejects seed lists that would corrupt sweep statistics:
+// a duplicated seed is the same deterministic stream counted twice.
+func CheckSeeds(seeds []int64) error {
+	seen := make(map[int64]bool, len(seeds))
+	for _, s := range seeds {
+		if seen[s] {
+			return fmt.Errorf("experiments: duplicate seed %d in seed list %v", s, seeds)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+// SeedList returns the canonical n-seed sweep list {0, 1, …, n−1} —
+// what a `-seeds n` flag means. n <= 1 returns nil (the base seed
+// only).
+func SeedList(n int) []int64 {
+	if n <= 1 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
 }
 
 // DefaultParams runs the full-size evaluation.
@@ -98,6 +137,9 @@ func NewRunner(p Params) *Runner {
 	}
 	if p.Context == nil {
 		p.Context = context.Background()
+	}
+	if err := CheckSeeds(p.Seeds); err != nil {
+		panic(err)
 	}
 	engine := p.Engine
 	if engine == nil {
@@ -150,14 +192,80 @@ func (r *Runner) SuiteAtBudget(config, suite string, budget int) sim.SuiteRun {
 	}
 	return r.suiteAt(fmt.Sprintf("%s@%s@b%d", config, suite, budget), suite, func() predictor.Predictor {
 		return predictor.MustNew(config)
-	}, config, budget)
+	}, config, budget, 0)
+}
+
+// Seeds returns the runner's effective seed list: Params.Seeds, or
+// {0} (the base seed) when none were configured.
+func (r *Runner) Seeds() []int64 {
+	if len(r.params.Seeds) == 0 {
+		return []int64{0}
+	}
+	return append([]int64(nil), r.params.Seeds...)
+}
+
+// SuiteSeeded returns the (cached) run of a registry configuration
+// over seed variant `seed` of a suite. Variant 0 is exactly Suite —
+// same in-memory cache entry, same store keys — so a sweep containing
+// 0 shares every base-seed simulation with the seed-unaware
+// experiments.
+func (r *Runner) SuiteSeeded(config, suite string, seed int64) sim.SuiteRun {
+	if seed == 0 {
+		return r.Suite(config, suite)
+	}
+	key := fmt.Sprintf("%s@%s@seed%d", config, suite, seed)
+	return r.suiteAt(key, suite, func() predictor.Predictor {
+		return predictor.MustNew(config)
+	}, config, r.params.Budget, seed)
+}
+
+// SuiteSweep runs a configuration over every seed of the runner's seed
+// list (Params.Seeds, default {0}) and returns the per-seed runs in
+// seed-list order — the (config × bench × seed) fan-out behind every
+// mean ± CI the harness reports. Work items flow through the same
+// engine as single-seed runs: per-seed results and snapshots land in
+// the same store (the seed is part of every key), so sweeps are
+// incremental and bit-reproducible like everything else.
+func (r *Runner) SuiteSweep(config, suite string) []sim.SuiteRun {
+	return r.SuiteSweepSeeds(config, suite, r.Seeds())
+}
+
+// SuiteSweepSeeds is SuiteSweep over an explicit seed list.
+func (r *Runner) SuiteSweepSeeds(config, suite string, seeds []int64) []sim.SuiteRun {
+	out := make([]sim.SuiteRun, len(seeds))
+	for i, s := range seeds {
+		out[i] = r.SuiteSeeded(config, suite, s)
+	}
+	return out
+}
+
+// SweepAvgMPKI extracts the per-seed suite-average MPKI of a sweep, in
+// sweep order — the sample PairedDiff consumes for suite-level claims.
+func SweepAvgMPKI(runs []sim.SuiteRun) []float64 {
+	out := make([]float64, len(runs))
+	for i, run := range runs {
+		out[i] = run.AvgMPKI()
+	}
+	return out
+}
+
+// SweepMPKIByTrace extracts trace → per-seed MPKI (in sweep order)
+// from a sweep — the per-benchmark samples behind mean ± CI columns.
+func SweepMPKIByTrace(runs []sim.SuiteRun) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, run := range runs {
+		for _, res := range run.Results {
+			out[res.Trace] = append(out[res.Trace], res.MPKI())
+		}
+	}
+	return out
 }
 
 func (r *Runner) suiteWith(cacheKey, suite string, builder func() predictor.Predictor, name string) sim.SuiteRun {
-	return r.suiteAt(cacheKey, suite, builder, name, r.params.Budget)
+	return r.suiteAt(cacheKey, suite, builder, name, r.params.Budget, 0)
 }
 
-func (r *Runner) suiteAt(cacheKey, suite string, builder func() predictor.Predictor, name string, budget int) sim.SuiteRun {
+func (r *Runner) suiteAt(cacheKey, suite string, builder func() predictor.Predictor, name string, budget int, seed int64) sim.SuiteRun {
 	r.mu.Lock()
 	if run, ok := r.cache[cacheKey]; ok {
 		r.mu.Unlock()
@@ -173,7 +281,7 @@ func (r *Runner) suiteAt(cacheKey, suite string, builder func() predictor.Predic
 	}
 	ch := make(chan struct{})
 	r.started[cacheKey] = ch
-	benches := r.suites[suite]
+	benches := workload.Reseed(r.suites[suite], seed)
 	r.mu.Unlock()
 
 	run, _ := r.engine.RunSuiteContext(r.params.Context, builder, name, suite, benches, budget, nil)

@@ -52,6 +52,10 @@ func runScaling(r *Runner) Report {
 	b.WriteString("IMLI benefit across TAGE-GSC storage budgets (the 708-byte components\n")
 	b.WriteString("are constant; the base predictor scales):\n\n")
 	t := &stats.Table{Header: []string{"base size (Kbits)", "suite", "base", "+imli", "reduction"}}
+	// Per-suite samples for the scaling-law fit: predictor bits vs MPKI
+	// across the storage sweep.
+	fitBits := map[string][]float64{}
+	fitMPKI := map[string][]float64{}
 	for _, pt := range scalePoints() {
 		pt := pt
 		baseKey := "tage-gsc@" + pt.label
@@ -76,11 +80,41 @@ func runScaling(r *Runner) Report {
 				stats.Pct(stats.PctChange(base, withIMLI)))
 			vals[pt.label+".base."+s] = base
 			vals[pt.label+".imli."+s] = withIMLI
+			fitBits["base."+s] = append(fitBits["base."+s], float64(baseBits))
+			fitMPKI["base."+s] = append(fitMPKI["base."+s], base)
+			fitBits["imli."+s] = append(fitBits["imli."+s], float64(baseBits))
+			fitMPKI["imli."+s] = append(fitMPKI["imli."+s], withIMLI)
 		}
 	}
 	b.WriteString(t.String())
 	b.WriteString("\nThe reduction persists at every budget: the correlations IMLI captures\n")
 	b.WriteString("are invisible to global history regardless of how much of it is kept.\n")
+
+	// Scaling-law summary (DESIGN.md §10): least-squares power fit
+	// MPKI ≈ A·bits^B over the storage sweep. The (negative) exponent
+	// summarizes how fast accuracy buys into storage; the +imli curve
+	// keeping a lower A at an equal-or-flatter B is the "constant
+	// add-on, persistent benefit" claim in one pair of numbers.
+	b.WriteString("\npower-law fit MPKI ≈ A·bits^B over the storage sweep:\n\n")
+	ft := &stats.Table{Header: []string{"curve", "suite", "A", "B", "R²"}}
+	for _, curve := range []string{"base", "imli"} {
+		for _, s := range suiteNames {
+			k := curve + "." + s
+			fit, err := stats.PowerFit(fitBits[k], fitMPKI[k])
+			if err != nil {
+				// Degenerate only if a sweep point vanished; keep the
+				// report renderable rather than failing the experiment.
+				ft.AddRow(curve, s, "n/a", "n/a", "n/a")
+				continue
+			}
+			ft.AddRow(curve, s, fmt.Sprintf("%.3g", fit.A), fmt.Sprintf("%.3f", fit.B),
+				fmt.Sprintf("%.3f", fit.R2))
+			vals["fit."+k+".a"] = fit.A
+			vals["fit."+k+".b"] = fit.B
+			vals["fit."+k+".r2"] = fit.R2
+		}
+	}
+	b.WriteString(ft.String())
 
 	// Branch-budget sweep: the same comparison as the predictor warms
 	// over longer and longer stream prefixes. The sweep runs ascending,

@@ -1,0 +1,277 @@
+package stats
+
+// This file is the experiment harness's inference kit (DESIGN.md §10):
+// distributional summaries with Student-t confidence intervals,
+// paired-difference tests for base-vs-variant claims, and least-squares
+// power-law fits for scaling summaries. Everything is plain Go over
+// math — no external statistics dependency — because the quantities
+// involved (a handful of per-seed MPKI samples per cell) never need
+// more machinery than a t-interval computed exactly.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultConfidence is the interval level used when a caller passes a
+// confidence outside (0, 1).
+const DefaultConfidence = 0.95
+
+// Summary is the distributional summary of one sample — typically the
+// per-seed MPKI of one (configuration, benchmark) cell of a seed
+// sweep: sample size, mean, sample standard deviation, and a Student-t
+// confidence interval for the mean.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean is the arithmetic mean.
+	Mean float64
+	// Stddev is the sample standard deviation (n−1 denominator); 0
+	// when N < 2.
+	Stddev float64
+	// Confidence is the interval level (e.g. 0.95).
+	Confidence float64
+	// Lo and Hi bound the confidence interval for the mean. With one
+	// sample (or zero variance) the interval collapses to the point
+	// estimate: Lo == Hi == Mean.
+	Lo, Hi float64
+}
+
+// HalfWidth returns the half-width of the confidence interval (the "±"
+// term of "mean ± CI").
+func (s Summary) HalfWidth() float64 { return (s.Hi - s.Lo) / 2 }
+
+// FormatMeanCI renders "mean ± half-width" with three decimals, the
+// column format imlireport and imlisim print for seed sweeps.
+func (s Summary) FormatMeanCI() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.HalfWidth())
+}
+
+// Summarize computes the Summary of xs at the given confidence level
+// (values outside (0,1) select DefaultConfidence). A single sample —
+// or a zero-variance sample — yields a zero-width interval at the
+// mean, never NaN. An empty sample yields the zero Summary.
+func Summarize(xs []float64, confidence float64) Summary {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = DefaultConfidence
+	}
+	s := Summary{N: len(xs), Confidence: confidence}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	if len(xs) < 2 {
+		s.Lo, s.Hi = s.Mean, s.Mean
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	// Zero variance (identical samples): the interval is exactly the
+	// point estimate; multiplying t* by a zero standard error keeps
+	// this NaN-free for every df.
+	hw := TCritical(confidence, len(xs)-1) * s.Stddev / math.Sqrt(float64(len(xs)))
+	s.Lo, s.Hi = s.Mean-hw, s.Mean+hw
+	return s
+}
+
+// Paired is the result of a paired-difference test: the Summary of the
+// per-pair differences base[i] − variant[i] (positive mean = variant
+// is better, matching Delta.Reduction's sign convention).
+type Paired struct {
+	Summary
+}
+
+// ExcludesZero reports whether the confidence interval of the mean
+// difference excludes zero — the criterion for marking a reduction as
+// resolved at the interval's level rather than noise. A zero-width
+// interval at a nonzero mean excludes zero; at exactly zero it does
+// not.
+func (p Paired) ExcludesZero() bool { return p.Lo > 0 || p.Hi < 0 }
+
+// PairedDiff runs a paired-difference test over two equal-length
+// samples paired by index (for seed sweeps: per-seed MPKI of the base
+// and the variant, in the same seed order). It returns the Summary of
+// the differences base[i] − variant[i] at the given confidence level.
+func PairedDiff(base, variant []float64, confidence float64) (Paired, error) {
+	if len(base) != len(variant) {
+		return Paired{}, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(base), len(variant))
+	}
+	if len(base) == 0 {
+		return Paired{}, fmt.Errorf("stats: paired-difference test needs at least one pair")
+	}
+	diffs := make([]float64, len(base))
+	for i := range base {
+		diffs[i] = base[i] - variant[i]
+	}
+	return Paired{Summary: Summarize(diffs, confidence)}, nil
+}
+
+// PowerLaw is a least-squares fit y ≈ A·x^B.
+type PowerLaw struct {
+	A, B float64
+	// R2 is the coefficient of determination of the underlying linear
+	// fit in log-log space.
+	R2 float64
+}
+
+// Eval returns the fitted value at x.
+func (f PowerLaw) Eval(x float64) float64 { return f.A * math.Pow(x, f.B) }
+
+// PowerFit fits y ≈ A·x^B by ordinary least squares on (log x, log y).
+// All values must be positive (a power law lives on the positive
+// quadrant) and at least two distinct x values are required.
+func PowerFit(x, y []float64) (PowerLaw, error) {
+	if len(x) != len(y) {
+		return PowerLaw{}, fmt.Errorf("stats: power fit samples differ in length: %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return PowerLaw{}, fmt.Errorf("stats: power fit needs at least two points, got %d", len(x))
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return PowerLaw{}, fmt.Errorf("stats: power fit needs positive values, got (%v, %v)", x[i], y[i])
+		}
+		lx[i], ly[i] = math.Log(x[i]), math.Log(y[i])
+	}
+	mx, my := Mean(lx), Mean(ly)
+	var sxx, sxy, syy float64
+	for i := range lx {
+		dx, dy := lx[i]-mx, ly[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return PowerLaw{}, fmt.Errorf("stats: power fit needs at least two distinct x values")
+	}
+	b := sxy / sxx
+	fit := PowerLaw{A: math.Exp(my - b*mx), B: b, R2: 1}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// TCritical returns the two-sided Student-t critical value t* for the
+// given confidence level and degrees of freedom: a fraction
+// `confidence` of the t distribution with df degrees of freedom lies
+// within [−t*, t*]. df < 1 is clamped to 1; confidence outside (0,1)
+// selects DefaultConfidence.
+func TCritical(confidence float64, df int) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		confidence = DefaultConfidence
+	}
+	if df < 1 {
+		df = 1
+	}
+	// P(|T| > t) = I_{df/(df+t²)}(df/2, 1/2); solve tail(t) = 1−conf
+	// by bisection (tail is strictly decreasing in t).
+	alpha := 1 - confidence
+	n := float64(df)
+	tail := func(t float64) float64 { return incBeta(n/2, 0.5, n/(n+t*t)) }
+	lo, hi := 0.0, 2.0
+	for tail(hi) > alpha && hi < 1e9 {
+		hi *= 2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := lo + (hi-lo)/2
+		if tail(mid) > alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}
+
+// incBeta is the regularized incomplete beta function I_x(a, b),
+// computed with the standard continued-fraction expansion (Lentz's
+// method, as in Numerical Recipes §6.4).
+func incBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgA, _ := math.Lgamma(a)
+	lgB, _ := math.Lgamma(b)
+	lgAB, _ := math.Lgamma(a + b)
+	front := math.Exp(lgAB - lgA - lgB + a*math.Log(x) + b*math.Log(1-x))
+	// The continued fraction converges fastest below the distribution
+	// mean; use the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) above it.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta
+// function by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-15
+		tiny    = 1e-30
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// SummarizeByKey computes one Summary per key from a map of samples,
+// returning keys in sorted order alongside their summaries — the shape
+// renderers iterate (per-benchmark rows of a seed sweep).
+func SummarizeByKey(samples map[string][]float64, confidence float64) ([]string, map[string]Summary) {
+	keys := make([]string, 0, len(samples))
+	out := make(map[string]Summary, len(samples))
+	for k, xs := range samples {
+		keys = append(keys, k)
+		out[k] = Summarize(xs, confidence)
+	}
+	sort.Strings(keys)
+	return keys, out
+}

@@ -1,0 +1,259 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/num"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+// TestTCriticalPublishedValues cross-checks the t-quantile solver
+// against published two-sided critical values (e.g. the standard
+// t-table): tolerance 1e-3 on every entry.
+func TestTCriticalPublishedValues(t *testing.T) {
+	cases := []struct {
+		conf float64
+		df   int
+		want float64
+	}{
+		{0.95, 1, 12.7062},
+		{0.95, 2, 4.30265},
+		{0.95, 3, 3.18245},
+		{0.95, 4, 2.77645},
+		{0.95, 5, 2.57058},
+		{0.95, 10, 2.22814},
+		{0.95, 30, 2.04227},
+		{0.95, 120, 1.97993},
+		{0.99, 10, 3.16927},
+		{0.90, 20, 1.72472},
+	}
+	for _, c := range cases {
+		approx(t, "TCritical", TCritical(c.conf, c.df), c.want, 1e-3)
+	}
+	// Degenerate arguments clamp instead of diverging.
+	if got := TCritical(0.95, 0); math.Abs(got-12.7062) > 1e-3 {
+		t.Errorf("df=0 not clamped to df=1: %v", got)
+	}
+	if got := TCritical(0, 10); math.Abs(got-2.22814) > 1e-3 {
+		t.Errorf("confidence=0 not defaulted to 0.95: %v", got)
+	}
+}
+
+// TestSummarizeFixture checks Summarize against a hand-computed
+// sample: mean 5, sample stddev sqrt(32/7), CI from t(0.975, 7).
+func TestSummarizeFixture(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs, 0.95)
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	approx(t, "Mean", s.Mean, 5, 1e-12)
+	approx(t, "Stddev", s.Stddev, math.Sqrt(32.0/7.0), 1e-12)
+	wantHW := 2.364624 * math.Sqrt(32.0/7.0) / math.Sqrt(8)
+	approx(t, "HalfWidth", s.HalfWidth(), wantHW, 1e-4)
+	approx(t, "Lo", s.Lo, 5-wantHW, 1e-4)
+	approx(t, "Hi", s.Hi, 5+wantHW, 1e-4)
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	// Empty sample: the zero Summary, not NaN.
+	if s := Summarize(nil, 0.95); s.N != 0 || s.Mean != 0 || s.Lo != 0 || s.Hi != 0 {
+		t.Errorf("empty sample summary = %+v", s)
+	}
+	// One sample: the CI collapses to the point estimate, no NaN.
+	s := Summarize([]float64{2.5}, 0.95)
+	if s.Lo != 2.5 || s.Hi != 2.5 || s.HalfWidth() != 0 || s.Stddev != 0 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+	// Zero variance: a zero-width interval, never a division by zero.
+	s = Summarize([]float64{3, 3, 3, 3}, 0.95)
+	if s.Lo != 3 || s.Hi != 3 || s.Stddev != 0 {
+		t.Errorf("zero-variance summary = %+v", s)
+	}
+	if math.IsNaN(s.Lo) || math.IsNaN(s.Hi) {
+		t.Error("zero-variance interval is NaN")
+	}
+}
+
+// TestSummarizeAffineProperty: summaries commute with affine maps —
+// Summarize(a·x + c) has mean a·mean + c and |a|-scaled width. Random
+// samples via the repo's deterministic PRNG.
+func TestSummarizeAffineProperty(t *testing.T) {
+	rng := num.NewRand(0xC0FFEE)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		a := float64(rng.Intn(9)) - 4 // may be negative or zero
+		c := float64(rng.Intn(100)) / 7
+		for i := range xs {
+			xs[i] = float64(rng.Intn(1000)) / 31
+			ys[i] = a*xs[i] + c
+		}
+		sx := Summarize(xs, 0.95)
+		sy := Summarize(ys, 0.95)
+		approx(t, "affine mean", sy.Mean, a*sx.Mean+c, 1e-9)
+		approx(t, "affine width", sy.HalfWidth(), math.Abs(a)*sx.HalfWidth(), 1e-9)
+	}
+}
+
+// TestPairedDiffFixture checks the paired test on hand-computed
+// differences {0.5, 0.8, 0.9}.
+func TestPairedDiffFixture(t *testing.T) {
+	base := []float64{3, 4, 5}
+	variant := []float64{2.5, 3.2, 4.1}
+	p, err := PairedDiff(base, variant, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "mean diff", p.Mean, 2.2/3, 1e-12)
+	sd := math.Sqrt((math.Pow(0.5-2.2/3, 2) + math.Pow(0.8-2.2/3, 2) + math.Pow(0.9-2.2/3, 2)) / 2)
+	approx(t, "stddev", p.Stddev, sd, 1e-12)
+	wantHW := 4.30265 * sd / math.Sqrt(3)
+	approx(t, "half-width", p.HalfWidth(), wantHW, 1e-4)
+	if !p.ExcludesZero() {
+		t.Errorf("interval [%v, %v] should exclude zero", p.Lo, p.Hi)
+	}
+
+	// Anti-symmetric: swapping base and variant negates the interval.
+	q, err := PairedDiff(variant, base, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "swapped mean", q.Mean, -p.Mean, 1e-12)
+	approx(t, "swapped lo", q.Lo, -p.Hi, 1e-9)
+	if !q.ExcludesZero() {
+		t.Error("negated interval should still exclude zero")
+	}
+}
+
+func TestPairedDiffEdgeCases(t *testing.T) {
+	if _, err := PairedDiff([]float64{1, 2}, []float64{1}, 0.95); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PairedDiff(nil, nil, 0.95); err == nil {
+		t.Error("empty pairing accepted")
+	}
+	// One pair: point-estimate interval, significance only if nonzero.
+	p, err := PairedDiff([]float64{3}, []float64{2}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lo != 1 || p.Hi != 1 || !p.ExcludesZero() {
+		t.Errorf("single-pair result = %+v", p)
+	}
+	// Identical samples: zero-width interval at zero, not significant.
+	p, err = PairedDiff([]float64{2, 2, 2}, []float64{2, 2, 2}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lo != 0 || p.Hi != 0 || p.ExcludesZero() {
+		t.Errorf("zero-difference result = %+v", p)
+	}
+	// Constant nonzero difference: zero-width interval off zero IS
+	// resolved.
+	p, err = PairedDiff([]float64{3, 4, 5}, []float64{2, 3, 4}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lo != 1 || p.Hi != 1 || !p.ExcludesZero() {
+		t.Errorf("constant-difference result = %+v", p)
+	}
+}
+
+// TestPowerFitRecoversExponent: noise-free synthetic power laws come
+// back exactly; log-normally perturbed ones come back close.
+func TestPowerFitRecoversExponent(t *testing.T) {
+	cases := []struct{ a, b float64 }{
+		{3, -0.7},
+		{2, 1.5},
+	}
+	xs := []float64{1, 2, 4, 8, 16, 64}
+	for _, c := range cases {
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = c.a * math.Pow(x, c.b)
+		}
+		fit, err := PowerFit(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "A", fit.A, c.a, 1e-9*c.a+1e-12)
+		approx(t, "B", fit.B, c.b, 1e-9)
+		approx(t, "R2", fit.R2, 1, 1e-9)
+		approx(t, "Eval", fit.Eval(32), c.a*math.Pow(32, c.b), 1e-6*c.a)
+	}
+
+	// Flat data (b = 0): the exponent comes back ~0 without NaN; R²
+	// is numerically meaningless when the response has no variance, so
+	// only require it to be finite.
+	flat, err := PowerFit(xs, []float64{0.01, 0.01, 0.01, 0.01, 0.01, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "flat A", flat.A, 0.01, 1e-9)
+	approx(t, "flat B", flat.B, 0, 1e-9)
+	if math.IsNaN(flat.R2) || math.IsInf(flat.R2, 0) {
+		t.Errorf("flat R2 = %v", flat.R2)
+	}
+
+	// Noisy: multiplicative log-normal-ish noise, exponent within 0.1.
+	rng := num.NewRand(7)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		noise := (float64(rng.Intn(2001)) - 1000) / 1000 * 0.05 // ±5% in log space
+		ys[i] = 2 * math.Pow(x, 1.5) * math.Exp(noise)
+	}
+	fit, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "noisy B", fit.B, 1.5, 0.1)
+	if fit.R2 < 0.98 {
+		t.Errorf("noisy R2 = %v, want near 1", fit.R2)
+	}
+}
+
+func TestPowerFitErrors(t *testing.T) {
+	if _, err := PowerFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PowerFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := PowerFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("nonpositive x accepted")
+	}
+	if _, err := PowerFit([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("nonpositive y accepted")
+	}
+	if _, err := PowerFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("identical x values accepted")
+	}
+}
+
+func TestFormatMeanCI(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3}, 0.95)
+	if got := s.FormatMeanCI(); got != "2.000 ± 2.484" {
+		t.Errorf("FormatMeanCI = %q", got)
+	}
+}
+
+func TestSummarizeByKey(t *testing.T) {
+	keys, sums := SummarizeByKey(map[string][]float64{
+		"b": {1, 2, 3}, "a": {5, 5},
+	}, 0.95)
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+	if sums["a"].Mean != 5 || sums["b"].Mean != 2 {
+		t.Errorf("sums = %v", sums)
+	}
+}

@@ -36,10 +36,7 @@ func TopK(deltas []Delta, k int) []Delta {
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return sorted[i].Reduction > sorted[j].Reduction
 	})
-	if k > len(sorted) {
-		k = len(sorted)
-	}
-	return sorted[:k]
+	return clampK(sorted, k)
 }
 
 // TopKByMagnitude returns the k deltas with the largest |reduction|
@@ -50,6 +47,15 @@ func TopKByMagnitude(deltas []Delta, k int) []Delta {
 	sort.SliceStable(sorted, func(i, j int) bool {
 		return abs(sorted[i].Reduction) > abs(sorted[j].Reduction)
 	})
+	return clampK(sorted, k)
+}
+
+// clampK bounds a selection size to [0, len(sorted)]: negative k asks
+// for nothing and must not panic.
+func clampK(sorted []Delta, k int) []Delta {
+	if k < 0 {
+		k = 0
+	}
 	if k > len(sorted) {
 		k = len(sorted)
 	}

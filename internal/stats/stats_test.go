@@ -37,6 +37,21 @@ func TestTopK(t *testing.T) {
 	}
 }
 
+// TestTopKNegativeK: a negative k returns an empty slice instead of
+// panicking with an out-of-range slice bound.
+func TestTopKNegativeK(t *testing.T) {
+	ds := []Delta{{Trace: "a", Reduction: 1}, {Trace: "b", Reduction: -2}}
+	if got := TopK(ds, -1); len(got) != 0 {
+		t.Errorf("TopK(ds, -1) = %v, want empty", got)
+	}
+	if got := TopKByMagnitude(ds, -5); len(got) != 0 {
+		t.Errorf("TopKByMagnitude(ds, -5) = %v, want empty", got)
+	}
+	if got := TopK(nil, 3); len(got) != 0 {
+		t.Errorf("TopK(nil, 3) = %v, want empty", got)
+	}
+}
+
 func TestTopKByMagnitude(t *testing.T) {
 	ds := []Delta{
 		{Trace: "a", Reduction: 0.1},

@@ -1,0 +1,58 @@
+package workload
+
+import "testing"
+
+func TestReseeded(t *testing.T) {
+	benches := Suites()["cbp4"]
+	if len(benches) == 0 {
+		t.Fatal("no cbp4 benchmarks")
+	}
+	b := benches[0]
+
+	// Variant 0 is the benchmark itself, bit for bit.
+	if got := b.Reseeded(0); got.Seed != b.Seed || got.Name != b.Name {
+		t.Errorf("Reseeded(0) = %+v, want unchanged %+v", got, b)
+	}
+
+	// Other variants are deterministic, keep identity fields, and
+	// actually move the seed.
+	v1, v1again := b.Reseeded(1), b.Reseeded(1)
+	if v1.Seed != v1again.Seed {
+		t.Error("Reseeded(1) is not deterministic")
+	}
+	if v1.Name != b.Name || v1.Suite != b.Suite {
+		t.Errorf("Reseeded changed identity: %+v", v1)
+	}
+	if v1.Seed == b.Seed {
+		t.Error("Reseeded(1) left the seed unchanged")
+	}
+	if v2 := b.Reseeded(2); v2.Seed == v1.Seed {
+		t.Error("variants 1 and 2 collide")
+	}
+}
+
+func TestReseedList(t *testing.T) {
+	benches := Suites()["cbp4"]
+
+	// Variant 0 returns the input slice untouched — no copy, no remix.
+	if got := Reseed(benches, 0); &got[0] != &benches[0] {
+		t.Error("Reseed(benches, 0) copied the slice")
+	}
+
+	got := Reseed(benches, 3)
+	if len(got) != len(benches) {
+		t.Fatalf("Reseed length = %d, want %d", len(got), len(benches))
+	}
+	for i := range got {
+		if got[i].Seed != benches[i].Reseeded(3).Seed {
+			t.Errorf("%s: list reseed disagrees with element reseed", benches[i].Name)
+		}
+		if benches[i].Seed != Suites()["cbp4"][i].Seed {
+			t.Errorf("%s: Reseed mutated its input", benches[i].Name)
+		}
+	}
+
+	if got := Reseed(nil, 5); got != nil && len(got) != 0 {
+		t.Errorf("Reseed(nil, 5) = %v", got)
+	}
+}

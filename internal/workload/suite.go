@@ -28,6 +28,35 @@ type part struct {
 	mk     func(rng *num.Rand, alloc *siteAlloc) kernel
 }
 
+// Reseeded returns a copy of b generating seed variant v of its
+// stream: variant 0 is b itself (bit-identical to every number the
+// harness has ever reported), and any other variant deterministically
+// remixes the benchmark's base seed so the copy emits a different —
+// but identically structured — instance of the same kernel mixture.
+// Name and Suite are unchanged; the engine's result store, snapshot
+// keys, and the stream cache all key on the seed value, so variants
+// coexist in one cache without collisions.
+func (b Benchmark) Reseeded(v int64) Benchmark {
+	if v == 0 {
+		return b
+	}
+	b.Seed = num.Mix(b.Seed ^ (uint64(v) * 0x9E3779B97F4A7C15))
+	return b
+}
+
+// Reseed applies Reseeded to a whole benchmark list (one seed variant
+// of a suite).
+func Reseed(benches []Benchmark, v int64) []Benchmark {
+	if v == 0 {
+		return benches
+	}
+	out := make([]Benchmark, len(benches))
+	for i, b := range benches {
+		out[i] = b.Reseeded(v)
+	}
+	return out
+}
+
 // Generate emits up to budget branch records into sink.
 func (b Benchmark) Generate(budget int, sink func(trace.Record)) {
 	e := &emitter{sink: sink, rng: num.NewRand(b.Seed ^ 0xE417), limit: budget}
