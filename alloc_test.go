@@ -3,15 +3,45 @@
 // whole per-branch round-trip allocation-free once a predictor is
 // warmed up; this test locks that in for every registry configuration
 // and is run as a dedicated CI step.
+//
+// The entry points driven here come from internal/hotlist — the same
+// source of truth the static hotpath analyzer roots its call graph at
+// — so the runtime gate and the vet-time gate cannot drift apart: a
+// hot entry added to the list without a driver below fails this test.
 package imli_test
 
 import (
 	"testing"
 
+	"repro/internal/hotlist"
 	"repro/internal/predictor"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// drivers maps each hotlist entry method to the call that exercises it
+// for one record. Predict and Train fire on conditional branches,
+// TrackOther on everything else — together they cover the per-branch
+// protocol the engine runs (DESIGN.md §7).
+func drivers(p predictor.Predictor) map[string]func(trace.Record) {
+	return map[string]func(trace.Record){
+		"Predict": func(r trace.Record) {
+			if r.Conditional() {
+				p.Predict(r.PC)
+			}
+		},
+		"Train": func(r trace.Record) {
+			if r.Conditional() {
+				p.Train(r.PC, r.Target, r.Taken)
+			}
+		},
+		"TrackOther": func(r trace.Record) {
+			if !r.Conditional() {
+				p.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
+			}
+		},
+	}
+}
 
 // TestPredictTrainZeroAlloc drives every registry configuration over a
 // multi-kernel record stream and requires zero heap allocations per
@@ -26,12 +56,18 @@ func TestPredictTrainZeroAlloc(t *testing.T) {
 
 	for _, config := range predictor.Names() {
 		p := predictor.MustNew(config)
+		byMethod := drivers(p)
+		entries := make([]func(trace.Record), 0, len(hotlist.Methods()))
+		for _, m := range hotlist.Methods() {
+			d, ok := byMethod[m]
+			if !ok {
+				t.Fatalf("hotlist entry %q has no driver in alloc_test.go: the runtime gate no longer covers the static gate's roots", m)
+			}
+			entries = append(entries, d)
+		}
 		feed := func(r trace.Record) {
-			if r.Conditional() {
-				p.Predict(r.PC)
-				p.Train(r.PC, r.Target, r.Taken)
-			} else {
-				p.TrackOther(r.PC, r.Target, r.Kind, r.Taken)
+			for _, d := range entries {
+				d(r)
 			}
 		}
 		// Warm up: TAGE allocation churn, loop/wormhole entry

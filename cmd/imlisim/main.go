@@ -118,7 +118,6 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	switch {
 	case *listPredictors:
 		names := predictor.Names()
-		sort.Strings(names)
 		for _, n := range names {
 			p := predictor.MustNew(n)
 			fmt.Fprintf(stdout, "%-22s %6d Kbits\n", n, p.StorageBits()/1024)
@@ -208,7 +207,6 @@ func runAllConfigs(w io.Writer, engine *sim.Engine, suite, bench string, branche
 	}
 
 	names := predictor.Names()
-	sort.Strings(names)
 	type row struct {
 		name  string
 		kbits int

@@ -1,0 +1,118 @@
+// Command imlivet is the project's static-invariant checker: a
+// multichecker over the custom analyzers in internal/analysis that
+// encode the repository's load-bearing contracts (DESIGN.md §11):
+//
+//	determinism   no wall-clock, global math/rand, or order-sensitive
+//	              map iteration in bit-exactness-critical packages
+//	snapcomplete  every mutable field of a Snapshot/RestoreSnapshot
+//	              type is serialized by both paths (§8)
+//	hotpath       no allocation-prone constructs reachable from the
+//	              predict/train entry points (§7, internal/hotlist)
+//	stickyerr     snapshot decoding is straight-line and
+//	              configuration-driven (§8)
+//
+// Usage:
+//
+//	go run ./cmd/imlivet ./...
+//	go run ./cmd/imlivet -json ./internal/sim ./internal/snap
+//
+// Packages are loaded from source including _test.go files (disable
+// with -tests=false). Exit status is 1 when any diagnostic survives
+// suppression (//lint:allow <analyzer> <reason>), 2 on load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/snapcomplete"
+	"repro/internal/analysis/stickyerr"
+)
+
+// analyzers returns the production analyzer suite in a fixed order.
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		snapcomplete.Analyzer,
+		hotpath.Analyzer,
+		stickyerr.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("imlivet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	tests := fs.Bool("tests", true, "also analyze _test.go files")
+	dir := fs.String("C", ".", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags, err := analysis.Run(analyzers(), pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	// Report paths relative to the module root: stable across
+	// machines, which is what CI logs and the JSON consumers want.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "imlivet: %d invariant violation(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

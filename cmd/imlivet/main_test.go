@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestTreeClean runs the full analyzer suite over the checked-in
+// module and requires zero diagnostics: the repository must always
+// pass its own linter, so CI can run it as a hard gate.
+func TestTreeClean(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("imlivet on the checked-in tree: exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no output on a clean tree, got:\n%s", stdout.String())
+	}
+}
+
+// TestJSONFindings builds a scratch module with a deliberate
+// snapshot-completeness violation and checks the -json output: exit
+// status 1, a parseable diagnostic array, and root-relative paths.
+func TestJSONFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package tmpmod
+
+type Enc struct{}
+type Dec struct{}
+
+type C struct {
+	n int
+}
+
+func NewC() *C { return &C{} }
+
+func (c *C) Bump() { c.n++ }
+
+func (c *C) Snapshot(e *Enc)        {}
+func (c *C) RestoreSnapshot(d *Dec) {}
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "snapcomplete" {
+		t.Errorf("analyzer = %q, want snapcomplete", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "C.n") {
+		t.Errorf("message does not name the field: %q", d.Message)
+	}
+	if d.Pos.Filename != "bad.go" {
+		t.Errorf("filename = %q, want root-relative %q", d.Pos.Filename, "bad.go")
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins the machine-readable contract for the
+// no-findings case: an empty JSON array, not null, exit 0.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "ok.go"), "package tmpmod\n\nfunc Ok() int { return 1 }\n")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-json", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

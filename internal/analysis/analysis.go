@@ -1,0 +1,229 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository needs: named
+// analyzers that inspect type-checked packages and report positioned
+// diagnostics. The container this project builds in has no module
+// proxy access, so rather than vendor x/tools we encode the same
+// architecture on the standard library (go/parser + go/types with a
+// source importer; see Loader).
+//
+// Analyzers encode the repository's load-bearing contracts — the
+// DESIGN.md §5/§8 bit-identity invariants, the zero-alloc hot-path
+// gate, the internal/snap sticky-error decoder idiom — so a violation
+// is a vet-time diagnostic with a file:line instead of a golden-test
+// bisect weeks later. cmd/imlivet is the multichecker driver; each
+// analyzer lives in a subpackage with analysistest fixtures.
+//
+// A diagnostic can be suppressed at the reported line (or the line
+// above it) with a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// where <reason> is mandatory: silencing a contract checker without
+// saying why is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects a Pass and reports
+// diagnostics through pass.Report.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run performs the check. For per-package analyzers the pass
+	// holds one package; for Module analyzers it holds every loaded
+	// package (Pass.Packages) and Run is invoked exactly once.
+	Run func(*Pass) error
+	// Module marks analyzers that need a whole-program view (e.g.
+	// cross-package call graphs) rather than one package at a time.
+	Module bool
+}
+
+// Package is one type-checked package as produced by the Loader.
+type Package struct {
+	// Path is the import path ("repro/internal/sim"). Test-variant
+	// packages keep the base path; ForTest distinguishes them.
+	Path string
+	// Name is the package name from the source.
+	Name string
+	// ForTest marks the external test package (package foo_test).
+	// The in-package test variant keeps ForTest false — analyzers
+	// that exempt test code skip individual files via TestFile.
+	ForTest bool
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// TestFile reports whether f is a _test.go file. Analyzers whose
+// contract binds shipped code (not the tests asserting it) use this
+// to skip test files inside the augmented package load.
+func (p *Package) TestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Pass carries one unit of analysis work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the package under analysis (nil for Module analyzers).
+	Pkg *Package
+	// Packages is the full load set (Module analyzers; also available
+	// to per-package analyzers that want context).
+	Packages []*Package
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypesInfo returns the type information for the pass's package.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+}
+
+// suppressions indexes //lint:allow directives by file and line.
+type suppressions map[string]map[int][]allowDirective
+
+// collectSuppressions scans every comment of every file for
+// //lint:allow directives. Malformed directives (missing analyzer or
+// reason) are themselves reported as diagnostics.
+func collectSuppressions(pkgs []*Package, report func(Diagnostic)) suppressions {
+	sup := suppressions{}
+	seen := map[string]bool{} // files appear in base and test variants
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						report(Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (the reason is mandatory)",
+						})
+						continue
+					}
+					if sup[pos.Filename] == nil {
+						sup[pos.Filename] = map[int][]allowDirective{}
+					}
+					sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line],
+						allowDirective{analyzer: fields[0], reason: strings.Join(fields[1:], " ")})
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// allowed reports whether d is suppressed by a directive on its line
+// or the line immediately above.
+func (s suppressions) allowed(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, a := range lines[line] {
+			if a.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to the load set and returns the surviving
+// (non-suppressed) diagnostics sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	sup := collectSuppressions(pkgs, report)
+	for _, a := range analyzers {
+		if a.Module {
+			pass := &Pass{Analyzer: a, Packages: pkgs, Report: report}
+			if len(pkgs) > 0 {
+				pass.Fset = pkgs[0].Fset
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, Packages: pkgs, Report: report}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	kept := diags[:0]
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if sup.allowed(d) {
+			continue
+		}
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return kept, nil
+}

@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` comments, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest. A fixture is
+// one directory under the analyzer's testdata/src; its files may
+// import both the standard library and this module's packages.
+//
+// Expectation syntax, at the end of the offending line:
+//
+//	m[k] = v // want `order`
+//	x := sortedKeys(m) // no comment: no diagnostic expected
+//
+// Each string after `want` is a regular expression that must match
+// one diagnostic reported on that line; diagnostics with no matching
+// want — and wants with no matching diagnostic — fail the test.
+// Suppressed findings (//lint:allow) count as not reported, so
+// fixtures also lock in the suppression mechanism.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> relative to the calling test's
+// working directory, applies the analyzer, and reports mismatches
+// between actual diagnostics and // want expectations on t.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s has no Go files", fixture)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		if d.Analyzer == "lint" { // malformed suppression directives
+			t.Errorf("unexpected: %s", d)
+			continue
+		}
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			fname := pkg.Fset.Position(f.Pos()).Filename
+			if seen[fname] {
+				continue
+			}
+			seen[fname] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+						raw := m[1]
+						if raw == "" {
+							raw = m[2]
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || !samePath(w.file, d.Pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func samePath(a, b string) bool {
+	return a == b || filepath.Base(a) == filepath.Base(b)
+}

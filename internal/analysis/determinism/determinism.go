@@ -1,0 +1,378 @@
+// Package determinism enforces the bit-exactness contract of DESIGN.md
+// §5/§8 in the packages whose output feeds MPKI results, store keys,
+// snapshots, or generated reports: no wall-clock reads, no global
+// math/rand, and no map iteration whose order can reach an output.
+//
+// Map iteration is the subtle one: ranging over a map is fine when the
+// loop is order-insensitive (writing into another map, integer
+// accumulation, deleting keys, collecting keys that are sorted before
+// use) and a silent nondeterminism bug otherwise — exactly the class
+// of error that turns a sharded or resumed run bit-unidentical weeks
+// after the change. The analyzer accepts the sanctioned shapes and
+// flags everything else at vet time.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// DefaultScope lists the bit-exactness-critical packages: the engine,
+// the snapshot codec, workload generation, the experiment harness and
+// its renderer, and every predictor component package (DESIGN.md §11).
+func DefaultScope() []string {
+	return []string{
+		"repro/internal/sim",
+		"repro/internal/snap",
+		"repro/internal/workload",
+		"repro/internal/experiments",
+		"repro/internal/stats",
+		"repro/internal/trace",
+		"repro/internal/predictor",
+		"repro/internal/tage",
+		"repro/internal/gehl",
+		"repro/internal/sc",
+		"repro/internal/neural",
+		"repro/internal/loop",
+		"repro/internal/wormhole",
+		"repro/internal/local",
+		"repro/internal/bimodal",
+		"repro/internal/gshare",
+		"repro/internal/btb",
+		"repro/internal/core",
+		"repro/internal/hist",
+		"repro/internal/num",
+		"repro/cmd/imlireport",
+		"repro/cmd/imlisim",
+	}
+}
+
+// NewAnalyzer returns the determinism analyzer restricted to the given
+// package paths (DefaultScope when none are given).
+func NewAnalyzer(scope ...string) *analysis.Analyzer {
+	if len(scope) == 0 {
+		scope = DefaultScope()
+	}
+	inScope := map[string]bool{}
+	for _, p := range scope {
+		inScope[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock reads, global math/rand, and order-sensitive map iteration in bit-exactness-critical packages",
+		Run: func(pass *analysis.Pass) error {
+			if !inScope[pass.Pkg.Path] || pass.Pkg.ForTest {
+				return nil
+			}
+			run(pass)
+			return nil
+		},
+	}
+}
+
+// Analyzer is the production instance over DefaultScope.
+var Analyzer = NewAnalyzer()
+
+// forbiddenTime are the wall-clock reads that make a result depend on
+// when it ran.
+var forbiddenTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand are math/rand constructors for explicitly seeded
+// generators; everything else at package level draws from the global,
+// implicitly seeded source.
+var allowedRand = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func run(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.TestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					if forbiddenTime[n.Sel.Name] {
+						pass.Reportf(n.Pos(), "time.%s in a bit-exactness-critical package: results must not depend on wall-clock time", n.Sel.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil && !allowedRand[n.Sel.Name] {
+						pass.Reportf(n.Pos(), "global math/rand.%s: draw from a per-component num.Rand (or an explicitly seeded rand.New) so streams are seed-reproducible", n.Sel.Name)
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, info, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isBuiltin reports whether id names the given predeclared builtin.
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true // unresolved: can only be the builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// checkMapRanges flags every range over a map in fn that is not
+// provably order-insensitive.
+func checkMapRanges(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c := &classifier{info: info}
+		if !c.stmtsOK(rs.Body.List) {
+			pass.Reportf(rs.For, "map iteration order is nondeterministic and this loop is order-sensitive (%s); iterate sorted keys instead", c.why)
+			return true
+		}
+		for _, target := range c.appendTargets {
+			if !sortedLater(info, body, rs, target) {
+				pass.Reportf(rs.For, "map keys collected into %q are never sorted before use; add a sort after the loop", target.Name())
+			}
+		}
+		return true
+	})
+}
+
+// classifier decides whether a loop body is order-insensitive.
+type classifier struct {
+	info *types.Info
+	// appendTargets are slices the loop appends to; iteration order
+	// reaches their element order, so they must be sorted afterwards.
+	appendTargets []types.Object
+	why           string
+}
+
+func (c *classifier) fail(why string) bool { c.why = why; return false }
+
+func (c *classifier) stmtsOK(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *classifier) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.assignOK(s)
+	case *ast.IncDecStmt:
+		return c.integerLValue(s.X, "++/-- on non-integer")
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(c.info, id, "delete") {
+				return true // builtin delete: set-shaped, order-free
+			}
+		}
+		return c.fail("calls with side effects run in map order")
+	case *ast.IfStmt:
+		if s.Init != nil || !c.pureExpr(s.Cond) {
+			return c.fail("branch condition may have side effects")
+		}
+		if !c.stmtsOK(s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				return c.stmtsOK(blk.List)
+			}
+			return c.stmtOK(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.stmtsOK(s.List)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	default:
+		return c.fail("statement kind is not order-insensitive")
+	}
+}
+
+func (c *classifier) assignOK(s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return c.fail("multi-assignment in map order")
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...): element order follows map order; legal
+		// only if x is sorted after the loop (checked by the caller).
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(c.info, id, "append") && len(call.Args) >= 1 {
+				if lid, ok := lhs.(*ast.Ident); ok {
+					if aid, ok := call.Args[0].(*ast.Ident); ok && c.obj(lid) != nil && c.obj(lid) == c.obj(aid) {
+						c.appendTargets = append(c.appendTargets, c.obj(lid))
+						return true
+					}
+				}
+				return c.fail("append into a slice not re-assigned to itself")
+			}
+		}
+		// m2[k] = v: writing through another map erases order.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && c.isMapIndex(ix) {
+			return c.pureOrFail(rhs, "map-write value may have side effects")
+		}
+		// flag = true (constant store is idempotent).
+		if tv, ok := c.info.Types[rhs]; ok && tv.Value != nil {
+			return true
+		}
+		return c.fail("assignment overwrites in map order")
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.AND_ASSIGN, token.MUL_ASSIGN:
+		// Commutative-associative only over integers: float
+		// accumulation depends on summation order.
+		if !c.integerLValue(lhs, "compound assignment on non-integer (float accumulation is order-sensitive)") {
+			return false
+		}
+		return c.pureOrFail(rhs, "accumulation operand may have side effects")
+	default:
+		return c.fail("non-commutative compound assignment")
+	}
+}
+
+func (c *classifier) obj(id *ast.Ident) types.Object {
+	if o := c.info.Uses[id]; o != nil {
+		return o
+	}
+	return c.info.Defs[id]
+}
+
+func (c *classifier) isMapIndex(ix *ast.IndexExpr) bool {
+	tv, ok := c.info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func (c *classifier) integerLValue(e ast.Expr, why string) bool {
+	tv, ok := c.info.Types[e]
+	if !ok {
+		return c.fail(why)
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return c.fail(why)
+	}
+	return true
+}
+
+func (c *classifier) pureOrFail(e ast.Expr, why string) bool {
+	if !c.pureExpr(e) {
+		return c.fail(why)
+	}
+	return true
+}
+
+// pureExpr reports whether e is free of calls other than len/cap, so
+// evaluating it in map order cannot observably differ.
+func (c *classifier) pureExpr(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && (isBuiltin(c.info, id, "len") || isBuiltin(c.info, id, "cap")) {
+			return true
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+// sortKinds are call names that establish a deterministic element
+// order over a collected slice.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			if p := obj.Pkg().Path(); p == "sort" || p == "slices" {
+				return true
+			}
+		}
+		return containsSort(fun.Sel.Name)
+	case *ast.Ident:
+		return containsSort(fun.Name)
+	}
+	return false
+}
+
+func containsSort(name string) bool {
+	for i := 0; i+4 <= len(name); i++ {
+		if eqFold(name[i:i+4], "sort") {
+			return true
+		}
+	}
+	return false
+}
+
+func eqFold(s, t string) bool {
+	for i := 0; i < len(s); i++ {
+		a, b := s[i]|0x20, t[i]|0x20
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedLater reports whether target is passed to a sorting call
+// somewhere in the enclosing body after (or, conservatively, before)
+// the range loop.
+func sortedLater(info *types.Info, body *ast.BlockStmt, loop *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == loop {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == target {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

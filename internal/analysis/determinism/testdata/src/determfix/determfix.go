@@ -1,0 +1,106 @@
+// Package determfix is the determinism analyzer fixture: positive
+// cases for wall-clock reads, global math/rand, and order-sensitive
+// map iteration, plus the sanctioned shapes that must stay silent.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().Unix() // want `time\.Now`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since`
+}
+
+func Jitter() int {
+	return rand.Intn(8) // want `global math/rand\.Intn`
+}
+
+func SeededOK(seed int64) *rand.Rand {
+	// Explicitly seeded generator construction is reproducible.
+	return rand.New(rand.NewSource(seed))
+}
+
+func RenderUnsorted(m map[string]float64) string {
+	out := ""
+	for k, v := range m { // want `order-sensitive`
+		out += fmt.Sprintf("%s=%v\n", k, v)
+	}
+	return out
+}
+
+func RenderSorted(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func CountOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n += v
+		}
+	}
+	return n
+}
+
+func FloatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `order-sensitive`
+		s += v
+	}
+	return s
+}
+
+func InvertOK(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func PruneOK(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func FlagOK(m map[string]bool) bool {
+	any := false
+	for _, v := range m {
+		if v {
+			any = true
+		}
+	}
+	return any
+}
+
+func Suppressed(m map[string]int) []string {
+	var keys []string
+	//lint:allow determinism fixture demonstration of the suppression form
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,412 @@
+// Package hotpath statically guards the zero-alloc contract of the
+// predict/train hot path (DESIGN.md §7). The runtime gate —
+// alloc_test.go asserting 0 allocs/branch — tells you *that* an
+// allocation crept in; this analyzer tells you *where*, at vet time,
+// by walking the call graph rooted at the hot-path entry points
+// (internal/hotlist, the same source of truth the runtime gate
+// drives) and flagging allocation-prone constructs in every reachable
+// function:
+//
+//   - closures capturing enclosing state (each call allocates the
+//     capture record);
+//   - fmt and errors calls (interface packing plus formatting state);
+//   - implicit conversions of non-pointer concrete values to
+//     interface parameters (the value escapes to the heap);
+//   - appends to slices declared without capacity in the same
+//     function (growth reallocates under the hot loop).
+//
+// Warm-up-only allocation sites that the runtime gate tolerates
+// (entry growth before steady state) belong behind
+// //lint:allow hotpath <reason>.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/hotlist"
+)
+
+// NewAnalyzer returns a hotpath analyzer rooting its call graph at
+// methods with the given names on types declared in the given package
+// paths. Production use roots at internal/hotlist's entry list;
+// fixtures pass their own.
+func NewAnalyzer(pkgPaths, methods []string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:   "hotpath",
+		Doc:    "flag allocation-prone constructs reachable from the predict/train hot-path entry points",
+		Module: true,
+		Run: func(pass *analysis.Pass) error {
+			return run(pass, pkgPaths, methods)
+		},
+	}
+}
+
+// Analyzer is the production instance rooted at internal/hotlist.
+var Analyzer = NewAnalyzer(hotlist.Packages(), hotlist.Methods())
+
+// funcEntry locates one declared function in the load set.
+type funcEntry struct {
+	decl *ast.FuncDecl
+	pkg  *analysis.Package
+}
+
+func run(pass *analysis.Pass, pkgPaths, methods []string) error {
+	rootPkg := map[string]bool{}
+	for _, p := range pkgPaths {
+		rootPkg[p] = true
+	}
+	rootMethod := map[string]bool{}
+	for _, m := range methods {
+		rootMethod[m] = true
+	}
+
+	index := map[*types.Func]funcEntry{}
+	var roots []*types.Func
+	for _, pkg := range pass.Packages {
+		if pkg.ForTest {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if pkg.TestFile(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				index[obj] = funcEntry{decl: fd, pkg: pkg}
+				if fd.Recv != nil && rootPkg[pkg.Path] && rootMethod[fd.Name.Name] {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+	// Stable root order keeps the "via <root>" attribution of shared
+	// callees deterministic.
+	sort.Slice(roots, func(i, j int) bool { return fullName(roots[i]) < fullName(roots[j]) })
+
+	// Breadth-first closure over static calls, plus conservative
+	// resolution of interface method calls to every declared method
+	// that implements the interface.
+	rootOf := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	enqueue := func(fn, root *types.Func) {
+		if _, seen := rootOf[fn]; seen {
+			return
+		}
+		rootOf[fn] = root
+		queue = append(queue, fn)
+	}
+	for _, r := range roots {
+		enqueue(r, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		entry, ok := index[fn]
+		if !ok || entry.decl.Body == nil {
+			continue
+		}
+		root := rootOf[fn]
+		ast.Inspect(entry.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range callees(entry.pkg.Info, call, index) {
+				enqueue(callee, root)
+			}
+			return true
+		})
+	}
+
+	// Deterministic report order: the framework sorts by position, so
+	// iterate however is convenient.
+	for fn := range rootOf {
+		entry, ok := index[fn]
+		if !ok || entry.decl.Body == nil {
+			continue
+		}
+		checkFunc(pass, entry, fullName(rootOf[fn]))
+	}
+	return nil
+}
+
+func fullName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			return fmt.Sprintf("(*%s).%s", typeName(p.Elem()), fn.Name())
+		}
+		return fmt.Sprintf("%s.%s", typeName(t), fn.Name())
+	}
+	return fn.Name()
+}
+
+func typeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// callees resolves a call expression to declared functions: static
+// calls directly, interface method calls to every method in the load
+// set that implements the interface.
+func callees(info *types.Info, call *ast.CallExpr, index map[*types.Func]funcEntry) []*types.Func {
+	var out []*types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			out = append(out, fn)
+		}
+	case *ast.SelectorExpr:
+		sel := info.Selections[fun]
+		if sel == nil {
+			// Package-qualified call pkg.F.
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				out = append(out, fn)
+			}
+			break
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			break
+		}
+		iface, isIface := sel.Recv().Underlying().(*types.Interface)
+		if !isIface {
+			out = append(out, fn)
+			break
+		}
+		for cand := range index {
+			if cand.Name() != fn.Name() {
+				continue
+			}
+			recv := cand.Type().(*types.Signature).Recv()
+			if recv != nil && types.Implements(recv.Type(), iface) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// checkFunc flags the allocation-prone constructs inside one hot
+// function.
+func checkFunc(pass *analysis.Pass, entry funcEntry, via string) {
+	info := entry.pkg.Info
+	fd := entry.decl
+	report := func(pos ast.Node, format string, args ...any) {
+		pass.Report(analysis.Diagnostic{
+			Analyzer: pass.Analyzer.Name,
+			Pos:      entry.pkg.Fset.Position(pos.Pos()),
+			Message:  fmt.Sprintf(format, args...) + fmt.Sprintf(" [hot path via %s]", via),
+		})
+	}
+
+	unpresized := unpresizedSlices(info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if cap := captures(info, fd, n); cap != "" {
+				report(n, "closure capturing %s allocates on every call", cap)
+			}
+			return false // constructs inside the literal run only if it is called
+		case *ast.CallExpr:
+			checkCall(info, n, report, unpresized)
+		}
+		return true
+	})
+}
+
+// captures returns the name of a variable the literal captures from
+// the enclosing function, or "" if it captures nothing.
+func captures(info *types.Info, outer *ast.FuncDecl, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal.
+		if obj.Pos() >= outer.Pos() && obj.Pos() < outer.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			found = obj.Name()
+		}
+		return true
+	})
+	return found
+}
+
+func checkCall(info *types.Info, call *ast.CallExpr, report func(ast.Node, string, ...any), unpresized map[types.Object]bool) {
+	// fmt/errors calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "fmt", "errors":
+				report(call, "%s.%s allocates (formatting state and interface packing)", obj.Pkg().Name(), sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Builtins: append to an un-presized local slice.
+	if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(info, id, "append") {
+		if len(call.Args) > 0 {
+			if aid, ok := call.Args[0].(*ast.Ident); ok {
+				if obj := info.Uses[aid]; obj != nil && unpresized[obj] {
+					report(call, "append to %q, declared without capacity in this function: growth reallocates under the hot loop; presize with make(..., 0, cap) or reuse a buffer", aid.Name)
+				}
+			}
+		}
+		return
+	}
+	// Explicit conversion T(x) to an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isIface(tv.Type) && len(call.Args) == 1 && escapingConcrete(info, call.Args[0]) {
+			report(call, "conversion of non-pointer value to interface %s heap-allocates", tv.Type)
+		}
+		return
+	}
+	// Implicit conversions at call boundaries: concrete non-pointer
+	// argument passed to an interface parameter.
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if isIface(param) && escapingConcrete(info, arg) {
+			report(arg, "argument of concrete type %s converted to interface parameter heap-allocates", info.Types[arg].Type)
+		}
+	}
+}
+
+func isIface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isBuiltin reports whether id names the given predeclared builtin.
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// escapingConcrete reports whether arg is a non-pointer, non-interface
+// concrete value (constants excluded: untyped nil and small constants
+// do not force an allocation diagnostic worth acting on).
+func escapingConcrete(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Chan, *types.Map:
+		// Single-word reference values: stored in the interface data
+		// word without allocating.
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+// unpresizedSlices collects local slice variables declared in fd with
+// no capacity: `var s []T`, `s := []T{}`, `s := make([]T, 0)`.
+func unpresizedSlices(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if emptyLiteralOrMake(info, n.Rhs[0]) {
+				mark(id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func emptyLiteralOrMake(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || !isBuiltin(info, id, "make") || len(e.Args) != 2 {
+			return false
+		}
+		tv, ok := info.Types[e.Args[1]]
+		return ok && tv.Value != nil && tv.Value.String() == "0"
+	}
+	return false
+}

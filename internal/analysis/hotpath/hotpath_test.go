@@ -1,0 +1,37 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/hotlist"
+)
+
+// TestFixture roots the call graph at hotfix.P's Predict method and
+// checks the flagged constructs (closure capture, fmt, implicit
+// interface conversion, un-presized append), the cold code staying
+// silent, and one suppressed finding.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, hotpath.NewAnalyzer([]string{"hotfix"}, []string{"Predict"}), "hotfix")
+}
+
+// TestProductionRoots pins the production analyzer to the shared
+// hotlist source of truth: the same entry list alloc_test.go drives.
+func TestProductionRoots(t *testing.T) {
+	if len(hotlist.Packages()) == 0 || len(hotlist.Methods()) == 0 {
+		t.Fatal("hotlist entry list is empty; the static and runtime gates have nothing to guard")
+	}
+	want := map[string]bool{"Predict": true, "Train": true, "TrackOther": true}
+	for _, m := range hotlist.Methods() {
+		if !want[m] {
+			// New entries are legitimate — but they must come with an
+			// alloc_test driver; see internal/hotlist.
+			t.Logf("note: hot-path entry %q beyond the core protocol", m)
+		}
+		delete(want, m)
+	}
+	for m := range want {
+		t.Errorf("hotlist.Methods is missing core protocol entry %q", m)
+	}
+}

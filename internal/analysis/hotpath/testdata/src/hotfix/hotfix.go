@@ -1,0 +1,60 @@
+// Package hotfix is the hotpath analyzer fixture: a miniature
+// predictor whose Predict entry point reaches allocation-prone
+// constructs directly and through a helper, plus cold code that must
+// stay silent.
+package hotfix
+
+import "fmt"
+
+type P struct {
+	n   int
+	buf []int
+}
+
+func (p *P) Predict(pc uint64) bool {
+	p.helper(pc)
+	f := func() int { return p.n } // want `closure capturing p`
+	_ = f
+	g := func() int { return 42 } // captures nothing: static closure, no diagnostic
+	_ = g
+	var xs []int
+	for i := 0; i < 4; i++ {
+		xs = append(xs, int(pc)) // want `declared without capacity`
+	}
+	p.buf = append(p.buf, int(pc)) // field slice: capacity unknown here, no diagnostic
+	return len(xs) > 0
+}
+
+func (p *P) helper(pc uint64) {
+	msg := fmt.Sprintf("pc=%d", pc) // want `fmt\.Sprintf allocates`
+	_ = msg
+	sink(pc) // want `converted to interface parameter`
+	sink(&p.n)
+	//lint:allow hotpath warm-up-only formatting, demonstrated suppression
+	_ = fmt.Sprint(pc)
+}
+
+func sink(v any) {}
+
+// Cold is not reachable from Predict: identical constructs, no
+// diagnostics.
+func (p *P) Cold(pc uint64) {
+	_ = fmt.Sprintf("pc=%d", pc)
+	h := func() int { return p.n }
+	_ = h()
+	sink(pc)
+}
+
+// Presized appends into a capacity-carrying slice: silent.
+func (p *P) presized() []int {
+	out := make([]int, 0, 8)
+	for i := 0; i < 8; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func init() {
+	var p P
+	_ = p.presized()
+}

@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages of one module from source, resolving
+// module-internal imports by path mapping and everything else (the
+// standard library) through the compiler's source importer. It is the
+// stdlib-only stand-in for golang.org/x/tools/go/packages: slower than
+// export data, but fully self-contained, which is what a hermetic
+// build environment needs.
+type Loader struct {
+	// Root is the module root directory (the one holding go.mod).
+	Root string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+
+	fset *token.FileSet
+	src  types.ImporterFrom
+	// pkgs caches import-resolved packages (never including test
+	// files, so test-only import cycles cannot recurse).
+	pkgs map[string]*types.Package
+	// loading guards against module-internal import cycles.
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at root. The module
+// path is read from root's go.mod.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	// The source importer type-checks the standard library from
+	// $GOROOT/src. With cgo enabled it would try to preprocess cgo
+	// files in net, os/user, etc.; every such package has a pure-Go
+	// fallback selected by build tags, so force that path.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		fset:    fset,
+		src:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		if l.loading[path] {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+		pkg, err := l.checkDir(path, l.dirFor(path), includeNone)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return l.src.ImportFrom(path, dir, mode)
+}
+
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModPath), "/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// testMode selects which _test.go files of a directory to include.
+type testMode int
+
+const (
+	includeNone  testMode = iota // importable build of the package
+	includeInPkg                 // package files + in-package _test.go files
+	includeXTest                 // the external (package foo_test) files only
+)
+
+// checkDir parses and type-checks one directory as one package.
+func (l *Loader) checkDir(importPath, dir string, mode testMode) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(e.Name(), "_test.go")
+		if isTest && mode == includeNone {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	basePkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		name := f.Name.Name
+		if !strings.HasSuffix(n, "_test.go") && basePkgName == "" {
+			basePkgName = name
+		}
+		external := strings.HasSuffix(name, "_test")
+		switch mode {
+		case includeNone, includeInPkg:
+			if strings.HasSuffix(n, "_test.go") && external {
+				continue
+			}
+		case includeXTest:
+			if !external {
+				continue
+			}
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	checkPath := importPath
+	if mode == includeXTest {
+		checkPath += "_test"
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(checkPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", checkPath, err)
+	}
+	return &Package{
+		Path:    importPath,
+		Name:    tpkg.Name(),
+		ForTest: mode == includeXTest,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// LoadDir loads the single package in dir (plus, when tests is set,
+// its test variants) as analysis targets. The import path is derived
+// from the directory's location under the module root; directories
+// outside the module (analysistest fixtures) use their base name.
+func (l *Loader) LoadDir(dir string, tests bool) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := filepath.Base(abs)
+	if rel, err := filepath.Rel(l.Root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			importPath = l.ModPath
+		} else {
+			importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	var out []*Package
+	modes := []testMode{includeNone}
+	if tests {
+		modes = []testMode{includeInPkg, includeXTest}
+	}
+	for _, m := range modes {
+		pkg, err := l.checkDir(importPath, abs, m)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadFixture loads the single package in dir under its base name as
+// the import path, regardless of module location. analysistest uses it
+// so fixture packages under testdata/src/<name> analyze as package
+// path <name>, which is what analyzer scope configuration in tests
+// refers to.
+func (l *Loader) LoadFixture(dir string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.checkDir(filepath.Base(abs), abs, includeNone)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, nil
+	}
+	return []*Package{pkg}, nil
+}
+
+// LoadPatterns expands go-style package patterns ("./...",
+// "./internal/...", "./cmd/imlivet") relative to the module root and
+// loads every matched package. testdata and hidden directories are
+// skipped, as the go tool does.
+func (l *Loader) LoadPatterns(patterns []string, tests bool) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			dirs[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var out []*Package
+	for _, d := range sorted {
+		if !hasGoFiles(d) {
+			continue
+		}
+		pkgs, err := l.LoadDir(d, tests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkgs...)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

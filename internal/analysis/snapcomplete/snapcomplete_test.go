@@ -1,0 +1,17 @@
+package snapcomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapcomplete"
+)
+
+// TestFixture checks the §8 completeness contract over the snapfix
+// fixture: a fully serialized type and a config-only type stay
+// silent, an unserialized mutable field and an encode-only field are
+// flagged at their declarations, helper-method encoding is followed,
+// and a //lint:allow exemption with a reason suppresses the finding.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, snapcomplete.Analyzer, "snapfix")
+}

@@ -1,0 +1,17 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stickyerr"
+)
+
+// TestFixture checks the sticky-error decoder idiom over stickyfix:
+// payload-driven reads and raw-length allocations are flagged,
+// straight-line decoding, VarLen bounds, configuration-driven
+// branches and bail-out validation stay silent, and a //lint:allow
+// with a reason suppresses a genuinely payload-driven format.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, stickyerr.Analyzer, "stickyfix")
+}

@@ -173,7 +173,7 @@ type OH struct {
 
 	// Optional delayed-update modelling (§4.3.2): writes to the
 	// outer-history table are applied delay conditional branches late.
-	delay   int
+	delay   int //lint:allow snapcomplete configuration set once by SetDelay at wiring time
 	pending []pendingWrite
 }
 

@@ -55,8 +55,8 @@ type Predictor struct {
 	bank   *hist.FoldedBank
 
 	// state between Predict and Update
-	lastSum int
-	lastCtx neural.Ctx
+	lastSum int        //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	lastCtx neural.Ctx //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
 }
 
 // New returns a GEHL predictor over the shared path history,

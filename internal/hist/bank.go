@@ -16,18 +16,24 @@ package hist
 // Folded.Update, which remains as the executable reference that the
 // property tests check the bank against.
 type FoldedBank struct {
-	value   []uint32
-	width   []uint32 // kept for the Width accessor and Reset/ResetAll
+	value []uint32
+	//lint:allow snapcomplete geometry built by Add at construction, fixed afterwards
+	width []uint32 // kept for the Width accessor and Reset/ResetAll
+	//lint:allow snapcomplete geometry built by Add at construction, fixed afterwards
 	histLen []int32
 
 	// Push-time derived forms, precomputed at Add so the per-register
 	// update is branch-free straight-line ALU work with no variable
 	// shifts:
-	outBit   []uint32 // 1<<(histLen%width), the exit position; the oldest bit is folded in as outBit & -oldest
-	wrapBit  []uint32 // 1<<(width-1): the bit that <<1 pushes past the top
+	//lint:allow snapcomplete geometry built by Add at construction, fixed afterwards
+	outBit []uint32 // 1<<(histLen%width), the exit position; the oldest bit is folded in as outBit & -oldest
+	//lint:allow snapcomplete geometry built by Add at construction, fixed afterwards
+	wrapBit []uint32 // 1<<(width-1): the bit that <<1 pushes past the top
+	//lint:allow snapcomplete geometry built by Add at construction, fixed afterwards
 	wrapTerm []uint32 // 1<<width | 1: clears the pushed-out bit and lands it on bit 0
 	// groups are maximal runs of registers added consecutively with the
 	// same histLen; Push fetches one oldest bit per group.
+	//lint:allow snapcomplete run boundaries built by Add at construction, fixed afterwards
 	groups []foldGroup
 }
 

@@ -62,6 +62,7 @@ type Group struct {
 	// prediction tables index with. It defaults to the committed
 	// table; the §2.3.2 pipeline model replaces it with an in-flight
 	// window lookup (Figure 3 of the paper).
+	//lint:allow snapcomplete wiring: history source installed at setup, not runtime state
 	source func(pc uint64) uint64
 }
 

@@ -49,10 +49,10 @@ type Predictor struct {
 	rng     *num.Rand
 
 	// prediction state between Predict and Update
-	hitWay    int
-	hitSet    int
-	predValid bool
-	pred      bool
+	hitWay    int  //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	hitSet    int  //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	predValid bool //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	pred      bool //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
 
 	// current inner-most loop tracking for the wormhole predictor:
 	// the entry of the most recent backward conditional branch.

@@ -56,6 +56,7 @@ type Component interface {
 
 // Tree sums components and maintains the adaptive update threshold.
 type Tree struct {
+	//lint:allow snapcomplete component wiring built by NewTree/Add at construction
 	comps []Component
 
 	theta    int // update/confidence threshold
@@ -158,6 +159,7 @@ type GlobalTable struct {
 	// index hash. The paper's "inserting the IMLI counter in the
 	// indices of two tables in the global history component of the SC"
 	// (§4.2) is implemented by setting this to read the IMLI counter.
+	//lint:allow snapcomplete wiring: index hook installed by SetExtraIndex at construction
 	extraIndex func() uint64
 }
 

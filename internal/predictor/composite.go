@@ -91,12 +91,13 @@ type Composite struct {
 	wh   *wormhole.Predictor
 
 	// per-branch state between Predict and Train
-	lastTage     tage.Prediction
-	lastFinal    bool
-	lastLoopUsed bool
+	lastTage     tage.Prediction //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	lastFinal    bool            //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	lastLoopUsed bool            //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
 
 	// locDetached suppresses the built-in commit of local history so
 	// the §2.3.2 pipeline model can own it (DetachLocalHistory).
+	//lint:allow snapcomplete wiring flag set once by DetachLocalHistory at setup
 	locDetached bool
 }
 

@@ -8,6 +8,7 @@ package predictor
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/trace"
 )
@@ -83,11 +84,14 @@ func MustNew(name string) Predictor {
 	return p
 }
 
-// Names returns all registered configuration names (unsorted).
+// Names returns all registered configuration names in sorted order,
+// so listings and catalogs built from it are deterministic without
+// every caller re-sorting.
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

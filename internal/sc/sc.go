@@ -55,8 +55,8 @@ type Corrector struct {
 	bias    []*neural.BiasTable
 	globals []*neural.GlobalTable
 
-	lastSum int
-	lastCtx neural.Ctx
+	lastSum int        //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	lastCtx neural.Ctx //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
 }
 
 // New returns a corrector over the shared path history, allocating

@@ -12,7 +12,6 @@ package serve
 import (
 	"context"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -284,7 +283,6 @@ func (s *Server) Stats() client.Stats {
 // Catalog returns what this server can simulate.
 func (s *Server) Catalog() client.Catalog {
 	names := predictor.Names()
-	sort.Strings(names)
 	cat := client.Catalog{
 		Predictors:    names,
 		Suites:        map[string][]string{},

@@ -267,11 +267,13 @@ func betaCF(a, b, x float64) float64 {
 // renderers iterate (per-benchmark rows of a seed sweep).
 func SummarizeByKey(samples map[string][]float64, confidence float64) ([]string, map[string]Summary) {
 	keys := make([]string, 0, len(samples))
-	out := make(map[string]Summary, len(samples))
-	for k, xs := range samples {
+	for k := range samples {
 		keys = append(keys, k)
-		out[k] = Summarize(xs, confidence)
 	}
 	sort.Strings(keys)
+	out := make(map[string]Summary, len(samples))
+	for _, k := range keys {
+		out[k] = Summarize(samples[k], confidence)
+	}
 	return keys, out
 }

@@ -118,8 +118,8 @@ type Predictor struct {
 
 	// per-prediction scratch reused between Predict and Update to
 	// avoid allocating on every branch
-	indices []uint64
-	tags    []uint16
+	indices []uint64 //lint:allow snapcomplete per-prediction scratch buffer recomputed by each Predict
+	tags    []uint16 //lint:allow snapcomplete per-prediction scratch buffer recomputed by each Predict
 }
 
 // New returns a TAGE predictor over the shared histories g and path,

@@ -76,10 +76,10 @@ type Predictor struct {
 	rng     *num.Rand
 
 	// state between Predict and Update
-	lastEntry int
-	lastIdx   int
-	lastUse   bool
-	lastPred  bool
+	lastEntry int  //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	lastIdx   int  //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	lastUse   bool //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
+	lastPred  bool //lint:allow snapcomplete Predict-to-Train scratch, dead at branch-boundary snapshot points
 }
 
 // New returns a wormhole predictor using lp for trip counts.
