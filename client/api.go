@@ -101,6 +101,10 @@ type Job struct {
 	// Dedup is set on submit responses when the spec matched an
 	// existing job and no new run was started.
 	Dedup bool `json:"dedup,omitempty"`
+	// Replayed is set on jobs the server recovered from its job
+	// journal after a restart: the job was accepted before the crash
+	// and re-queued on startup under its original ID.
+	Replayed bool `json:"replayed,omitempty"`
 	// Done and Total count engine work items (benchmark shards)
 	// completed versus scheduled; Total is 0 until known.
 	Done  int `json:"done"`

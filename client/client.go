@@ -5,10 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // Client talks to an imlid server. The zero value is not usable; use
@@ -20,6 +22,10 @@ type Client struct {
 	// Watch holds its request open for the lifetime of the job, so a
 	// client with a global timeout will cut long streams short.
 	HTTPClient *http.Client
+	// Retry controls retrying of transient failures (transport errors,
+	// 429/502/503/504) and Watch/Wait stream reconnection; nil means
+	// the default policy. Set MaxAttempts to 1 for single-shot calls.
+	Retry *RetryPolicy
 }
 
 // New returns a client for the server at baseURL (scheme + host +
@@ -41,6 +47,10 @@ type Error struct {
 	// body.
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint on overload
+	// responses (429, 503), zero when absent. The retry layer honors
+	// it; callers handling errors manually should too.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -53,7 +63,28 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// do performs one API call under the retry policy. Every call is
+// idempotent (Submit dedups server-side), so transient failures are
+// retried with exponential backoff, honoring Retry-After.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	pol := c.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= pol.attempts() || !retryable(err) {
+			return err
+		}
+		if sleepCtx(ctx, pol.delay(attempt, retryAfterOf(err))) != nil {
+			return err
+		}
+	}
+}
+
+// doOnce is a single request/response cycle. The request body is
+// rebuilt from `in` per call, so retries never send a drained reader.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		data, err := json.Marshal(in)
@@ -81,7 +112,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &Error{StatusCode: resp.StatusCode, Message: msg}
+		return &Error{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfterHeader(resp)}
 	}
 	if out == nil {
 		return nil
@@ -140,29 +171,89 @@ func (c *Client) Catalog(ctx context.Context) (Catalog, error) {
 	return cat, err
 }
 
+// fnError wraps an error returned by a Watch callback, so the
+// reconnect loop can tell "the caller wants out" (returned as-is,
+// never retried) from "the stream broke" (reconnect).
+type fnError struct{ err error }
+
+func (e *fnError) Error() string { return e.err.Error() }
+
 // Watch streams a job's events (SSE) to fn, starting with a replay of
 // everything that already happened, until the job finishes, fn
 // returns an error, or ctx is canceled. fn errors are returned as-is;
 // a stream that ends with the job finished returns nil.
+//
+// A connection lost mid-job is transparently re-established: the
+// server's event log is append-only and every stream replays it from
+// the start, so the client skips the events it already delivered (by
+// offset) and fn sees each event exactly once, in order, across any
+// number of reconnects. Only the retry policy's MaxAttempts
+// *consecutive* no-progress failures — or a non-retryable error, like
+// the job ID expiring from the server's index — surface as an error.
 func (c *Client) Watch(ctx context.Context, id string, fn func(Event) error) error {
+	pol := c.retryPolicy()
+	delivered := 0 // events fn has seen; the dedup offset for replays
+	fails := 0
+	for {
+		n, finished, err := c.watchOnce(ctx, id, delivered, fn)
+		var fe *fnError
+		if errors.As(err, &fe) {
+			return fe.err
+		}
+		if finished {
+			return nil
+		}
+		if n > delivered {
+			delivered = n
+			fails = 0
+		}
+		if err == nil {
+			err = fmt.Errorf("imlid: event stream ended before the job finished")
+		}
+		if ctx.Err() != nil || !retryable(err) {
+			return err
+		}
+		fails++
+		if fails >= pol.attempts() {
+			return err
+		}
+		if sleepCtx(ctx, pol.delay(fails-1, retryAfterOf(err))) != nil {
+			return err
+		}
+	}
+}
+
+// watchOnce consumes one SSE connection. skip is how many leading
+// events of the server's full replay were already delivered on
+// earlier connections; they are counted but not passed to fn. It
+// returns the total events observed on this connection (comparable
+// with skip), whether the terminal "done" event arrived, and the
+// connection's error: a *fnError for callback aborts, a *Error for
+// HTTP failures, a plain error for torn streams.
+func (c *Client) watchOnce(ctx context.Context, id string, skip int, fn func(Event) error) (int, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		return err
+		return skip, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return skip, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		return &Error{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		var eb errorBody
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return skip, false, &Error{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfterHeader(resp)}
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var data strings.Builder
-	finished := false
+	seen := 0
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -172,14 +263,20 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(Event) error) err
 			}
 			var ev Event
 			if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
-				return fmt.Errorf("imlid: bad event payload: %w", err)
+				// A torn frame (connection died mid-event): reconnect and
+				// re-read it from the replay.
+				return seen, false, fmt.Errorf("imlid: bad event payload: %w", err)
 			}
 			data.Reset()
+			seen++
+			if seen <= skip {
+				continue
+			}
 			if err := fn(ev); err != nil {
-				return err
+				return seen, false, &fnError{err}
 			}
 			if ev.Type == "done" {
-				finished = true
+				return seen, true, nil
 			}
 		case strings.HasPrefix(line, "data:"):
 			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
@@ -188,13 +285,7 @@ func (c *Client) Watch(ctx context.Context, id string, fn func(Event) error) err
 			// event type is inside the JSON data.
 		}
 	}
-	if err := sc.Err(); err != nil && !finished {
-		return err
-	}
-	if !finished {
-		return fmt.Errorf("imlid: event stream ended before the job finished")
-	}
-	return nil
+	return seen, false, sc.Err()
 }
 
 // Wait blocks until the job finishes and returns its final view. It

@@ -1,0 +1,250 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+func fastRetry() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond}
+}
+
+func TestDoRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"rate limit exceeded"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"id":"j1","spec":{"type":"suite"},"status":"queued"}`)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = fastRetry()
+	j, err := c.Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("Job after transient failures: %v", err)
+	}
+	if j.ID != "j1" {
+		t.Fatalf("Job = %+v, want j1", j)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestDoDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown job j9"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = fastRetry()
+	_, err := c.Job(context.Background(), "j9")
+	he, ok := err.(*Error)
+	if !ok || he.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want a 404 *Error", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls for a 404, want exactly 1", got)
+	}
+}
+
+func TestRetryDisabledWithOneAttempt(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 1}
+	if _, err := c.Job(context.Background(), "j1"); err == nil {
+		t.Fatal("single-attempt call swallowed a 503")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls with retries disabled, want 1", got)
+	}
+}
+
+func TestErrorCarriesRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"rate limit exceeded"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 1}
+	_, err := c.Job(context.Background(), "j1")
+	he, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err = %v, want *Error", err)
+	}
+	if he.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", he.RetryAfter)
+	}
+}
+
+func TestDelayHonorsRetryAfterHint(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+	if d := p.delay(0, 3*time.Second); d < 3*time.Second {
+		t.Fatalf("delay = %v, want at least the 3s server hint", d)
+	}
+	// Without a hint the backoff stays within [base/2, cap].
+	for attempt := 0; attempt < 10; attempt++ {
+		d := p.delay(attempt, 0)
+		if d < time.Millisecond/2 || d > 10*time.Millisecond {
+			t.Fatalf("delay(%d) = %v, outside [base/2, cap]", attempt, d)
+		}
+	}
+}
+
+func TestDelayJitterIsDeterministicPerSeed(t *testing.T) {
+	a := RetryPolicy{Seed: 1}
+	b := RetryPolicy{Seed: 1}
+	c := RetryPolicy{Seed: 2}
+	same, diff := true, false
+	for attempt := 0; attempt < 8; attempt++ {
+		if a.delay(attempt, 0) != b.delay(attempt, 0) {
+			same = false
+		}
+		if a.delay(attempt, 0) != c.delay(attempt, 0) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("identical policies produced different backoff sequences")
+	}
+	if !diff {
+		t.Fatal("distinct seeds produced identical backoff sequences (no jitter)")
+	}
+}
+
+// sseHandler emulates the server's full-replay event stream: every
+// connection replays all events from the start, and connections 1..n-1
+// drop mid-stream after a configured number of events.
+type sseHandler struct {
+	conns    atomic.Int64
+	events   []string // JSON payloads, "done" last
+	dropAt   func(conn int64) int
+	statusAt func(conn int64) int // 0 means 200
+}
+
+func (h *sseHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	conn := h.conns.Add(1)
+	if h.statusAt != nil {
+		if code := h.statusAt(conn); code != 0 {
+			http.Error(w, `{"error":"synthetic"}`, code)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	limit := len(h.events)
+	if h.dropAt != nil {
+		if n := h.dropAt(conn); n < limit {
+			limit = n
+		}
+	}
+	for i := 0; i < limit; i++ {
+		fmt.Fprintf(w, "event: e\ndata: %s\n\n", h.events[i])
+	}
+	// Returning closes the connection: a drop mid-job from the
+	// client's point of view unless the "done" event made it out.
+}
+
+func TestWatchReconnectsWithoutDuplicates(t *testing.T) {
+	events := []string{
+		`{"type":"status"}`,
+		`{"type":"progress","progress":{"done":1,"total":3}}`,
+		`{"type":"progress","progress":{"done":2,"total":3}}`,
+		`{"type":"progress","progress":{"done":3,"total":3}}`,
+		`{"type":"done","job":{"id":"j1","status":"done"}}`,
+	}
+	// Connection k delivers k+1 events then drops; the 5th connection
+	// finally reaches "done". Every reconnect makes progress, so the
+	// consecutive-failure bound never trips.
+	h := &sseHandler{events: events, dropAt: func(conn int64) int { return int(conn) + 1 }}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = fastRetry()
+	var got []string
+	err := c.Watch(context.Background(), "j1", func(ev Event) error {
+		got = append(got, ev.Type)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Watch across drops: %v", err)
+	}
+	want := []string{"status", "progress", "progress", "progress", "done"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d events %v, want %d (each exactly once)", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (order must survive reconnects)", i, got[i], want[i])
+		}
+	}
+	if h.conns.Load() < 2 {
+		t.Fatal("test did not exercise a reconnect")
+	}
+}
+
+func TestWatchGivesUpAfterConsecutiveFailures(t *testing.T) {
+	// Every connection drops before delivering anything new: no
+	// progress, so MaxAttempts consecutive failures end the watch.
+	h := &sseHandler{events: []string{`{"type":"status"}`}, dropAt: func(int64) int { return 1 }}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = fastRetry()
+	err := c.Watch(context.Background(), "j1", func(Event) error { return nil })
+	if err == nil {
+		t.Fatal("Watch returned nil for a stream that never finishes")
+	}
+	if conns := h.conns.Load(); conns != 4 {
+		t.Fatalf("server saw %d connections, want MaxAttempts=4 consecutive tries", conns)
+	}
+}
+
+func TestWatchFatalOn404(t *testing.T) {
+	h := &sseHandler{statusAt: func(int64) int { return http.StatusNotFound }}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = fastRetry()
+	err := c.Watch(context.Background(), "j9", func(Event) error { return nil })
+	he, ok := err.(*Error)
+	if !ok || he.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want a 404 *Error", err)
+	}
+	if conns := h.conns.Load(); conns != 1 {
+		t.Fatalf("server saw %d connections for a 404, want 1 (not retryable)", conns)
+	}
+}
+
+func TestWatchCallbackErrorAbortsImmediately(t *testing.T) {
+	h := &sseHandler{events: []string{`{"type":"status"}`, `{"type":"done"}`}}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = fastRetry()
+	sentinel := fmt.Errorf("caller wants out")
+	err := c.Watch(context.Background(), "j1", func(Event) error { return sentinel })
+	if err != sentinel {
+		t.Fatalf("err = %v, want the callback's own error, unwrapped and unretried", err)
+	}
+	if conns := h.conns.Load(); conns != 1 {
+		t.Fatalf("server saw %d connections after a callback abort, want 1", conns)
+	}
+}

@@ -1,0 +1,146 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RetryPolicy controls how the client retries transient failures:
+// transport errors and the server's overload responses (429 rate
+// limit, 502/503/504, each usually carrying a Retry-After hint).
+// Every API call the client makes is idempotent — Submit included,
+// because the server deduplicates identical specs — so retrying is
+// always safe. Watch and Wait use the same policy to bound
+// *consecutive* reconnect failures; reconnects that make progress
+// reset the count, so a long job survives any number of spaced-out
+// connection drops.
+//
+// The zero value means defaults (4 attempts, 100ms base, 5s cap).
+// MaxAttempts = 1 disables retrying entirely.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (first attempt
+	// included); <=0 means 4, 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt up to MaxDelay. <=0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <=0 means 5s. A server Retry-After
+	// hint larger than the computed backoff wins regardless of the cap
+	// — the server knows its own load.
+	MaxDelay time.Duration
+	// Seed keys the deterministic backoff jitter, so a fleet of
+	// clients with distinct seeds desynchronizes instead of
+	// thundering back in lockstep, while any single client's timing
+	// stays reproducible.
+	Seed uint64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the ctx-free backoff before retry number
+// attempt (0-based): exponential from BaseDelay, capped at MaxDelay,
+// jittered deterministically into [1/2, 1] of the raw value, and
+// overridden upward by the server's Retry-After hint.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > cap {
+		d = cap
+	}
+	// splitmix64 of (seed, attempt): deterministic per policy, distinct
+	// across attempts. The client package deliberately avoids importing
+	// repository internals, so the mix lives inline.
+	x := p.Seed ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := float64(x>>11) / float64(uint64(1)<<53)
+	d = time.Duration(float64(d) * (0.5 + 0.5*frac))
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// retryPolicy resolves the client's policy; a nil Retry field means
+// the default policy, retries enabled.
+func (c *Client) retryPolicy() RetryPolicy {
+	if c.Retry != nil {
+		return *c.Retry
+	}
+	return RetryPolicy{}
+}
+
+// retryableStatus are the transient server responses worth retrying:
+// overload shedding and gateway hiccups. Everything else 4xx/5xx is a
+// real answer.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryable classifies an error from one attempt: server *Error
+// values retry only on the transient statuses; context errors never
+// retry; anything else (transport failure, torn response body) does.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *Error
+	if errors.As(err, &he) {
+		return retryableStatus(he.StatusCode)
+	}
+	return true
+}
+
+// retryAfterOf extracts the server's Retry-After hint from an
+// attempt's error, zero when absent.
+func retryAfterOf(err error) time.Duration {
+	var he *Error
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
+}
+
+// retryAfterHeader parses a whole-seconds Retry-After response
+// header (the only form the server emits).
+func retryAfterHeader(resp *http.Response) time.Duration {
+	s, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || s <= 0 {
+		return 0
+	}
+	return time.Duration(s) * time.Second
+}
+
+// sleepCtx waits d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

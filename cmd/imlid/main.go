@@ -13,10 +13,19 @@
 // the store, so a restart resumes incrementally), then the listener
 // closes.
 //
+// With a -cache-dir (or an explicit -journal path), the daemon is
+// crash-safe: accepted jobs are recorded in an fsynced journal before
+// they are acknowledged, and a restart after a crash (kill -9, power
+// loss) re-queues every incomplete job under its original ID — replay
+// is cheap because completed work items are store hits and snapshots
+// resume the rest (DESIGN.md §12). -rate-limit sheds per-caller
+// overload with 429 + Retry-After.
+//
 // Usage:
 //
 //	imlid -addr=:8327 -cache-dir=.imli-cache -snapshots
 //	imlid -addr=:8327 -shards=4 -parallel=16 -job-workers=4
+//	imlid -addr=:8327 -cache-dir=.imli-cache -rate-limit=20
 //	imlid -once                     # one-shot self-test loop, then exit
 //
 // Submit a job with curl:
@@ -36,12 +45,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/client"
 	"repro/internal/cliflags"
 	"repro/internal/experiments"
+	"repro/internal/journal"
 	"repro/internal/predictor"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -61,9 +72,14 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	addr := fs.String("addr", ":8327", "listen address")
 	eng := cliflags.Register(fs)
 	jobWorkers := fs.Int("job-workers", 2, "max concurrently running jobs (simulation inside a job is bounded engine-wide by -parallel)")
+	queueDepth := fs.Int("queue-depth", 1024, "max submitted-but-not-running jobs; a full queue rejects submissions with 429 + Retry-After")
 	budget := fs.Int("budget", experiments.DefaultParams().Budget, "default branch records per trace for jobs that omit a budget")
 	keepJobs := fs.Int("keep-jobs", 1000, "finished jobs retained in memory; older ones are evicted (their cached work stays in -cache-dir)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long outstanding jobs may finish after SIGTERM before being canceled")
+	journalPath := fs.String("journal", "", "job journal path for crash-safe replay (default <cache-dir>/imlid.journal when -cache-dir is set)")
+	noJournal := fs.Bool("no-journal", false, "disable the job journal even when -cache-dir is set")
+	rateLimit := fs.Float64("rate-limit", 0, "per-caller API requests per second; past it callers get 429 + Retry-After (0 disables)")
+	rateBurst := fs.Int("rate-burst", 0, "per-caller burst on top of -rate-limit (0 = ceil(rate-limit))")
 	once := fs.Bool("once", false, "self-test mode: serve on an ephemeral port, run a client round trip (submit, dedup, SSE, result, bit-identity), then exit")
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -71,13 +87,48 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 		return err
 	}
+	if err := cliflags.Positive("job-workers", *jobWorkers); err != nil {
+		return err
+	}
+	if err := cliflags.Positive("queue-depth", *queueDepth); err != nil {
+		return err
+	}
+	if err := cliflags.Positive("keep-jobs", *keepJobs); err != nil {
+		return err
+	}
+	if err := cliflags.PositiveDuration("drain-timeout", *drainTimeout); err != nil {
+		return err
+	}
+	if *rateLimit < 0 {
+		return fmt.Errorf("-rate-limit must be >= 0, got %g", *rateLimit)
+	}
+
+	var jnl *journal.Journal
+	path := *journalPath
+	if path == "" && eng.CacheDir != "" {
+		path = filepath.Join(eng.CacheDir, "imlid.journal")
+	}
+	if path != "" && !*noJournal {
+		var err error
+		if jnl, err = journal.Open(path); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		defer jnl.Close()
+		if n := len(jnl.Pending()); n > 0 {
+			fmt.Fprintf(stdout, "imlid: journal %s: replaying %d incomplete job(s)\n", path, n)
+		}
+	}
 
 	newServer := func() *serve.Server {
 		return serve.NewServer(serve.Config{
 			Engine:        sim.NewEngine(eng.Config()),
 			JobWorkers:    *jobWorkers,
+			QueueDepth:    *queueDepth,
 			DefaultBudget: *budget,
 			KeepJobs:      *keepJobs,
+			Journal:       jnl,
+			RatePerSec:    *rateLimit,
+			RateBurst:     *rateBurst,
 		})
 	}
 

@@ -265,7 +265,8 @@ type Service = serve.Server
 // ServiceConfig sizes a Service beyond its engine: JobWorkers bounds
 // concurrently running jobs (<=0 means 2; simulation work inside jobs
 // is bounded engine-wide by WithParallel), QueueDepth bounds queued
-// jobs (<=0 means 1024), DefaultBudget fills submissions that omit a
+// jobs (<=0 means 1024; past it submissions are shed with 429 +
+// Retry-After), DefaultBudget fills submissions that omit a
 // budget (<=0 means the full-size 250000), and KeepJobs bounds the
 // retained finished-job history (<=0 means 1000; evicted jobs'
 // simulated work survives in the result store).

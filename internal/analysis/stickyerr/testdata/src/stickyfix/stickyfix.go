@@ -67,3 +67,21 @@ func suppressed(d *snap.Decoder) uint64 {
 	}
 	return 0
 }
+
+// decodeTagged branches decode structure on a decoded string tag —
+// flagged exactly like a numeric tag (Decoder.String results are
+// data, not structure).
+func decodeTagged(d *snap.Decoder) uint64 {
+	kind := d.String()
+	if kind == "wide" {
+		return d.U64() // want `configuration-driven`
+	}
+	return uint64(d.U32()) // straight-line fallthrough: sanctioned
+}
+
+// decodeRecord reads strings straight-line: sanctioned.
+func decodeRecord(d *snap.Decoder) (string, string, error) {
+	id := d.String()
+	name := d.String()
+	return id, name, d.Err()
+}

@@ -9,6 +9,7 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -67,6 +68,27 @@ func SeedList(n int) ([]int64, error) {
 		return nil, fmt.Errorf("-seeds must be at least 1, got %d", n)
 	}
 	return experiments.SeedList(n), nil
+}
+
+// Positive validates a count-like flag that must be strictly
+// positive, with the error naming the flag so the user knows what to
+// fix. Tools that default such flags sensibly still reject explicit
+// zero or negative values instead of silently "fixing" them — a
+// daemon started with -job-workers=0 would otherwise run with a
+// default the operator did not ask for.
+func Positive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be positive, got %d", name, v)
+	}
+	return nil
+}
+
+// PositiveDuration is Positive for duration flags.
+func PositiveDuration(name string, v time.Duration) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be positive, got %s", name, v)
+	}
+	return nil
 }
 
 // Config maps the parsed flags onto an engine configuration.

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledReturnsNil(t *testing.T) {
+	Disable()
+	if err := Err("sim/store.load"); err != nil {
+		t.Fatalf("disabled Err = %v, want nil", err)
+	}
+	if n := Hits("sim/store.load"); n != 0 {
+		t.Fatalf("disabled Hits = %d, want 0", n)
+	}
+}
+
+func TestNthFailsExactlyThoseHits(t *testing.T) {
+	Enable(Plan{"x": {Nth: []int{2, 5}}})
+	defer Disable()
+	var failed []int
+	for i := 1; i <= 6; i++ {
+		if Err("x") != nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 5 {
+		t.Fatalf("failed hits = %v, want [2 5]", failed)
+	}
+	if Hits("x") != 6 {
+		t.Fatalf("Hits = %d, want 6", Hits("x"))
+	}
+}
+
+func TestEveryKth(t *testing.T) {
+	Enable(Plan{"x": {Every: 3}})
+	defer Disable()
+	for i := 1; i <= 9; i++ {
+		got := Err("x") != nil
+		if want := i%3 == 0; got != want {
+			t.Fatalf("hit %d failed=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFaultErrorCarriesSiteAndHit(t *testing.T) {
+	Enable(Plan{"serve/sse.stream": {Every: 1}})
+	defer Disable()
+	err := Err("serve/sse.stream")
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("Err = %T, want *Fault", err)
+	}
+	if f.Site != "serve/sse.stream" || f.Hit != 1 {
+		t.Fatalf("fault = %+v, want site serve/sse.stream hit 1", f)
+	}
+}
+
+// TestSeededRateIsDeterministic pins the Rate clause: the same seed
+// selects the same hit subset on every run, and different seeds select
+// different subsets (overwhelmingly).
+func TestSeededRateIsDeterministic(t *testing.T) {
+	pick := func(seed uint64) []int {
+		Enable(Plan{"x": {Rate: 4, Seed: seed}})
+		defer Disable()
+		var out []int
+		for i := 1; i <= 64; i++ {
+			if Err("x") != nil {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a1, a2, b := pick(7), pick(7), pick(8)
+	if len(a1) == 0 || len(a1) == 64 {
+		t.Fatalf("rate 4 selected %d of 64 hits, want a proper subset", len(a1))
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed selected %d then %d hits", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a1, a2)
+		}
+	}
+	same := len(a1) == len(b)
+	if same {
+		for i := range a1 {
+			if a1[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("seeds 7 and 8 selected identical subsets %v", a1)
+	}
+}
+
+func TestUnplannedSiteNeverFails(t *testing.T) {
+	Enable(Plan{"x": {Every: 1}})
+	defer Disable()
+	if Err("y") != nil {
+		t.Fatal("unplanned site failed")
+	}
+	if Hits("y") != 0 {
+		t.Fatalf("unplanned site counted %d hits", Hits("y"))
+	}
+}
+
+// TestConcurrentHitsAreCountedOnce runs Err from many goroutines; with
+// Every: 1 every hit fails, and the counter equals the call count.
+func TestConcurrentHitsAreCountedOnce(t *testing.T) {
+	Enable(Plan{"x": {Every: 2}})
+	defer Disable()
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < per; i++ {
+				if Err("x") != nil {
+					local++
+				}
+			}
+			mu.Lock()
+			failed += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got := Hits("x"); got != goroutines*per {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*per)
+	}
+	if failed != goroutines*per/2 {
+		t.Fatalf("failures = %d, want %d", failed, goroutines*per/2)
+	}
+}

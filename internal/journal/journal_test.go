@@ -1,0 +1,279 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/client"
+)
+
+func tj(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "imlid.journal")
+}
+
+func spec(config string) client.Spec {
+	return client.Spec{Type: client.JobSuite, Config: config, Suite: "cbp4", Budget: 25000}
+}
+
+func mustOpen(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tj(t)
+	j := mustOpen(t, path)
+	if got := j.Pending(); len(got) != 0 {
+		t.Fatalf("fresh journal Pending = %v, want none", got)
+	}
+	entries := []Entry{
+		{Kind: KindAccepted, ID: "j1", Spec: spec("gshare")},
+		{Kind: KindStarted, ID: "j1"},
+		{Kind: KindAccepted, ID: "j2", Spec: spec("tage-gsc+imli")},
+		{Kind: KindDone, ID: "j1"},
+		{Kind: KindAccepted, ID: "j3", Spec: spec("bimodal")},
+		{Kind: KindStarted, ID: "j3"},
+		{Kind: KindFailed, ID: "j3", Error: "synthetic failure"},
+	}
+	for _, e := range entries {
+		if err := j.Append(e); err != nil {
+			t.Fatalf("Append(%v %s): %v", e.Kind, e.ID, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, path)
+	defer j2.Close()
+	got := j2.Pending()
+	if len(got) != 1 || got[0].ID != "j2" {
+		t.Fatalf("Pending = %+v, want exactly j2 (j1 done, j3 failed)", got)
+	}
+	if got[0].Kind != KindAccepted || got[0].Spec != spec("tage-gsc+imli") {
+		t.Fatalf("pending entry = %+v, want j2's accepted record with its spec", got[0])
+	}
+}
+
+// TestTornTailEveryPrefix is the crash-safety property: for every
+// possible crash point (every byte-length prefix of a journal file),
+// Open succeeds and recovers exactly the frames fully written before
+// the crash — never an error, never a phantom entry, and the journal
+// stays appendable.
+func TestTornTailEveryPrefix(t *testing.T) {
+	path := tj(t)
+	j := mustOpen(t, path)
+	var offsets []int64 // file size after each append
+	for i, e := range []Entry{
+		{Kind: KindAccepted, ID: "j1", Spec: spec("gshare")},
+		{Kind: KindStarted, ID: "j1"},
+		{Kind: KindAccepted, ID: "j2", Spec: spec("bimodal")},
+		{Kind: KindDone, ID: "j2"},
+	} {
+		if err := j.Append(e); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, fi.Size())
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantEntries := func(cut int64) int {
+		n := 0
+		for _, off := range offsets {
+			if off <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := int64(len(header)); cut <= int64(len(full)); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jt, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		// Recovered = fully-written frames only. The log is [j1
+		// accepted, j1 started, j2 accepted, j2 done]: j1 is pending
+		// once its accepted frame survives (it never completes), j2
+		// only in the window where its accepted frame survived but its
+		// done frame was torn.
+		want := 0
+		switch wantEntries(cut) {
+		case 1, 2:
+			want = 1
+		case 3:
+			want = 2
+		case 4:
+			want = 1
+		}
+		if got := len(jt.Pending()); got != want {
+			t.Fatalf("cut at %d: pending = %d, want %d", cut, got, want)
+		}
+		// The truncated journal accepts appends and reopens cleanly.
+		if err := jt.Append(Entry{Kind: KindAccepted, ID: "jX", Spec: spec("gshare")}); err != nil {
+			t.Fatalf("cut at %d: Append after recovery: %v", cut, err)
+		}
+		jt.Close()
+		jr := mustOpen(t, torn)
+		if got := len(jr.Pending()); got != want+1 {
+			t.Fatalf("cut at %d: reopened pending = %d, want %d", cut, got, want+1)
+		}
+		jr.Close()
+	}
+}
+
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	path := tj(t)
+	j := mustOpen(t, path)
+	for _, e := range []Entry{
+		{Kind: KindAccepted, ID: "j1", Spec: spec("gshare")},
+		{Kind: KindAccepted, ID: "j2", Spec: spec("bimodal")},
+	} {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the second frame: its CRC fails, replay
+	// stops after j1, and the file is truncated back to the good
+	// prefix.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, path)
+	defer j2.Close()
+	got := j2.Pending()
+	if len(got) != 1 || got[0].ID != "j1" {
+		t.Fatalf("Pending after corruption = %+v, want just j1", got)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= int64(len(data)) {
+		t.Fatalf("corrupt tail not truncated: size %d, corrupted file was %d", fi.Size(), len(data))
+	}
+}
+
+func TestBadHeaderRefused(t *testing.T) {
+	path := tj(t)
+	if err := os.WriteFile(path, []byte("not a journal at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a non-journal file")
+	}
+}
+
+func TestRewriteCompacts(t *testing.T) {
+	path := tj(t)
+	j := mustOpen(t, path)
+	for i := 0; i < 100; i++ {
+		id := "j" + string(rune('0'+i%10)) + string(rune('0'+i/10))
+		if err := j.Append(Entry{Kind: KindAccepted, ID: id, Spec: spec("gshare")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Entry{Kind: KindDone, ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	big, _ := os.Stat(path)
+	live := []Entry{{Kind: KindAccepted, ID: "live", Spec: spec("tage-gsc+imli")}}
+	if err := j.Rewrite(live); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	small, _ := os.Stat(path)
+	if small.Size() >= big.Size() {
+		t.Fatalf("Rewrite did not shrink the journal: %d -> %d bytes", big.Size(), small.Size())
+	}
+	// The rewritten journal keeps accepting appends on the new inode.
+	if err := j.Append(Entry{Kind: KindStarted, ID: "live"}); err != nil {
+		t.Fatalf("Append after Rewrite: %v", err)
+	}
+	j.Close()
+	j2 := mustOpen(t, path)
+	defer j2.Close()
+	got := j2.Pending()
+	if len(got) != 1 || got[0].ID != "live" || got[0].Spec != live[0].Spec {
+		t.Fatalf("Pending after Rewrite = %+v, want the one live job", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j := mustOpen(t, tj(t))
+	j.Close()
+	if err := j.Append(Entry{Kind: KindAccepted, ID: "j1"}); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestDuplicateAcceptedReplaysOnce(t *testing.T) {
+	path := tj(t)
+	j := mustOpen(t, path)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Entry{Kind: KindAccepted, ID: "j1", Spec: spec("gshare")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2 := mustOpen(t, path)
+	defer j2.Close()
+	if got := j2.Pending(); len(got) != 1 {
+		t.Fatalf("Pending = %+v, want one entry for duplicated accepted records", got)
+	}
+}
+
+func TestEntryEncodingRejectsOversizedClaim(t *testing.T) {
+	path := tj(t)
+	j := mustOpen(t, path)
+	if err := j.Append(Entry{Kind: KindAccepted, ID: "j1", Spec: spec("gshare")}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Inflate the first frame's length field to an absurd value; Open
+	// must treat it as corruption, not attempt the allocation.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(header)] = 0xff
+	data[len(header)+1] = 0xff
+	data[len(header)+2] = 0xff
+	data[len(header)+3] = 0x7f
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open with corrupt length: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Pending(); len(got) != 0 {
+		t.Fatalf("Pending = %+v, want none after corrupt length field", got)
+	}
+}

@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/client"
+	"repro/internal/faultinject"
 )
 
 // httpError carries an HTTP status through the server's internal
@@ -14,6 +18,10 @@ import (
 type httpError struct {
 	code int
 	msg  string
+	// retryAfter > 0 adds a Retry-After header (seconds): the load is
+	// transient (rate limit, full queue) and the caller should back off
+	// and retry rather than fail.
+	retryAfter int
 }
 
 // Error implements the error interface.
@@ -32,22 +40,46 @@ func (e *httpError) Error() string { return e.msg }
 //	GET    /v1/jobs/{id}/events  SSE progress stream (replay + live)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// /healthz bypasses the rate limit: a probe loop must always see
+	// liveness and drain state, even for a caller being shed.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/catalog", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/catalog", s.limited(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Catalog())
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/stats", s.limited(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
-	})
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/jobs", s.limited(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.limited(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Jobs())
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.limited(s.handleJob))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.limited(s.handleCancel))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.limited(s.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.limited(s.handleEvents))
 	return mux
+}
+
+// limited wraps a handler with the per-caller token bucket (a no-op
+// when Config.RatePerSec left the limiter disabled). Callers are
+// keyed by remote address host, so one greedy client cannot starve
+// the rest of the API.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	if s.limiter == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		key, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			key = r.RemoteAddr
+		}
+		if ok, retry := s.limiter.allow(key, time.Now()); !ok {
+			writeError(w, &httpError{code: http.StatusTooManyRequests,
+				msg: "rate limit exceeded", retryAfter: retry})
+			return
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -63,6 +95,9 @@ func writeError(w http.ResponseWriter, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
 		code = he.code
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
@@ -79,6 +114,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if faultinject.Err("serve/http.submit") != nil {
+		// Injected transient overload: the same envelope a real one
+		// produces, so client retry behaviour is exercised end to end.
+		writeError(w, &httpError{code: http.StatusServiceUnavailable,
+			msg: "injected overload", retryAfter: 1})
+		return
+	}
 	var spec client.Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, &httpError{code: http.StatusBadRequest, msg: "bad job spec: " + err.Error()})
@@ -166,6 +208,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		from += len(evs)
 		if closed && len(evs) == 0 {
+			return
+		}
+		if faultinject.Err("serve/sse.stream") != nil {
+			// Injected connection loss: the stream ends mid-job, exactly
+			// as a dropped TCP connection would; clients reconnect and
+			// dedup against the full replay.
 			return
 		}
 		if r.Context().Err() != nil {

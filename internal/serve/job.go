@@ -18,6 +18,9 @@ type job struct {
 	spec   client.Spec
 	ctx    context.Context
 	cancel context.CancelFunc
+	// replayed marks a job recovered from the journal on startup; set
+	// before the workers start, immutable afterwards.
+	replayed bool
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -49,7 +52,7 @@ func newJob(id string, spec client.Spec, now time.Time) *job {
 func (j *job) viewLocked() *client.Job {
 	return &client.Job{
 		ID: j.id, Spec: j.spec, Status: j.status, Error: j.errMsg,
-		Done: j.done, Total: j.total,
+		Replayed: j.replayed, Done: j.done, Total: j.total,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
 }

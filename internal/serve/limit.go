@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the limiter's per-caller state so an open port
+// scanned by many source addresses cannot grow the map forever. At
+// the bound, idle (full) buckets are evicted first; if every bucket
+// is active the map is reset, which momentarily re-grants each caller
+// a full burst — the safe failure mode for a limiter that exists to
+// shed load, not to account for it.
+const maxBuckets = 4096
+
+// limiter is a per-caller token bucket: each key accrues rate tokens
+// per second up to burst, and every allowed request spends one. It
+// implements the service's overload shedding (DESIGN.md §12): callers
+// past their budget get a 429 with a Retry-After hint instead of
+// queue space.
+type limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter returns a limiter granting rate requests per second per
+// key with the given burst (<=0 means ceil(rate), at least 1).
+func newLimiter(rate float64, burst int) *limiter {
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends one token for key at time now. When the bucket is
+// empty it reports false plus a whole-second Retry-After hint: the
+// time until one full token has accrued, rounded up (never 0 — a 429
+// always carries a usable hint).
+func (l *limiter) allow(key string, now time.Time) (bool, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	retry := int(math.Ceil((1 - b.tokens) / l.rate))
+	if retry < 1 {
+		retry = 1
+	}
+	return false, retry
+}
+
+// evictLocked drops buckets that have refilled to a full burst (idle
+// callers lose nothing by re-entering fresh), and resets the map
+// entirely when no bucket is idle. Callers hold l.mu.
+func (l *limiter) evictLocked(now time.Time) {
+	dropped := false
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+			dropped = true
+		}
+	}
+	if !dropped {
+		l.buckets = map[string]*bucket{}
+	}
+}

@@ -13,11 +13,13 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/client"
 	"repro/internal/experiments"
+	"repro/internal/journal"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -36,7 +38,8 @@ type Config struct {
 	// simulations.
 	JobWorkers int
 	// QueueDepth bounds queued (submitted, not yet running) jobs;
-	// <=0 means 1024. A full queue rejects submissions with 503.
+	// <=0 means 1024. A full queue sheds submissions with 429 +
+	// Retry-After.
 	QueueDepth int
 	// DefaultBudget fills Spec.Budget when a submission leaves it 0;
 	// <=0 means the experiment harness default (250000).
@@ -48,6 +51,20 @@ type Config struct {
 	// incremental. Without a bound, a long-running daemon's job index,
 	// event logs, and result payloads would grow forever.
 	KeepJobs int
+	// Journal, when non-nil, makes the server crash-safe (DESIGN.md
+	// §12): every accepted job is journaled before its submission is
+	// acknowledged, lifecycle transitions follow, and NewServer
+	// re-queues the journal's incomplete jobs under their original IDs
+	// so a killed daemon resumes where it stopped. The caller owns the
+	// journal's lifetime (open before NewServer, close after Drain).
+	Journal *journal.Journal
+	// RatePerSec, when > 0, enables the per-caller token-bucket rate
+	// limit on the /v1 API: each caller (remote address) accrues this
+	// many requests per second up to RateBurst (<=0 means
+	// ceil(RatePerSec)); past it, requests get 429 + Retry-After.
+	// /healthz is exempt — load probes must see drain state.
+	RatePerSec float64
+	RateBurst  int
 }
 
 // Server owns the job index, the dedup table, and the worker pool.
@@ -58,6 +75,7 @@ type Server struct {
 	defaultBudget int
 	keepJobs      int
 	suites        map[string][]workload.Benchmark
+	limiter       *limiter
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -65,10 +83,22 @@ type Server struct {
 	byKey    map[string]*job
 	nextID   int
 	draining bool
+	// jnl is the job journal (nil disables journaling). All appends
+	// happen under s.mu, so the accepted → started → terminal order on
+	// disk matches the order the server decided it, and compaction
+	// (gather + Rewrite) cannot interleave with a transition.
+	jnl       *journal.Journal
+	terminals int
 
 	queue chan *job
 	wg    sync.WaitGroup
 }
+
+// compactEvery is how many journaled terminal transitions trigger a
+// compaction: the journal is rewritten to just the live (unfinished)
+// jobs, so it stays proportional to in-flight work instead of total
+// history.
+const compactEvery = 128
 
 // NewServer returns a running server: its job workers are started and
 // it is ready to accept submissions. Callers must eventually Drain it.
@@ -88,6 +118,16 @@ func NewServer(cfg Config) *Server {
 	if cfg.KeepJobs <= 0 {
 		cfg.KeepJobs = 1000
 	}
+	var pending []journal.Entry
+	if cfg.Journal != nil {
+		pending = cfg.Journal.Pending()
+	}
+	depth := cfg.QueueDepth
+	if len(pending) > depth {
+		// Replayed jobs must all fit; a journal from a deeper-queued
+		// previous configuration must not deadlock startup.
+		depth = len(pending)
+	}
 	s := &Server{
 		engine:        cfg.Engine,
 		defaultBudget: cfg.DefaultBudget,
@@ -95,13 +135,48 @@ func NewServer(cfg Config) *Server {
 		suites:        workload.Suites(),
 		jobs:          map[string]*job{},
 		byKey:         map[string]*job{},
-		queue:         make(chan *job, cfg.QueueDepth),
+		jnl:           cfg.Journal,
+		queue:         make(chan *job, depth),
 	}
+	if cfg.RatePerSec > 0 {
+		s.limiter = newLimiter(cfg.RatePerSec, cfg.RateBurst)
+	}
+	s.replay(pending)
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// replay re-queues the journal's incomplete jobs under their original
+// IDs — a client that submitted before the crash can keep waiting on
+// the same job ID across the restart. Specs are re-normalized; one
+// that no longer validates (the catalog changed between runs) is
+// journaled failed instead of queued. Runs before the workers start,
+// so no lock is needed beyond the journal's own.
+func (s *Server) replay(pending []journal.Entry) {
+	for _, e := range pending {
+		if n, err := strconv.Atoi(strings.TrimPrefix(e.ID, "j")); err == nil && n > s.nextID {
+			// Fresh submissions continue the ID sequence past every
+			// replayed job.
+			s.nextID = n
+		}
+		spec, err := s.normalize(e.Spec)
+		if err != nil {
+			if s.jnl != nil {
+				_ = s.jnl.Append(journal.Entry{Kind: journal.KindFailed, ID: e.ID,
+					Error: "replay: " + err.Error()})
+			}
+			continue
+		}
+		j := newJob(e.ID, spec, time.Now())
+		j.replayed = true
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		s.byKey[dedupKey(spec)] = j
+		s.queue <- j
+	}
 }
 
 // Engine returns the engine backing the server's jobs.
@@ -192,11 +267,28 @@ func (s *Server) Submit(spec client.Spec) (client.Job, error) {
 	}
 	s.nextID++
 	j := newJob("j"+strconv.Itoa(s.nextID), spec, time.Now())
+	// Write-ahead: the acceptance is durable before the submission is
+	// acknowledged or enqueued, so a crash at any later point replays
+	// the job. A journal that cannot record the job rejects the
+	// submission — acknowledging unjournaled work would silently drop
+	// the crash-safety contract.
+	if s.jnl != nil {
+		if err := s.jnl.Append(journal.Entry{Kind: journal.KindAccepted, ID: j.id, Spec: spec}); err != nil {
+			s.mu.Unlock()
+			return client.Job{}, &httpError{code: 503, retryAfter: 1,
+				msg: "journal write failed: " + err.Error()}
+		}
+	}
 	select {
 	case s.queue <- j:
 	default:
+		if s.jnl != nil {
+			// The job was journaled accepted but never ran; a terminal
+			// record keeps it from replaying as a phantom after a crash.
+			_ = s.jnl.Append(journal.Entry{Kind: journal.KindCanceled, ID: j.id})
+		}
 		s.mu.Unlock()
-		return client.Job{}, &httpError{code: 503, msg: "job queue is full"}
+		return client.Job{}, &httpError{code: 429, retryAfter: 1, msg: "job queue is full"}
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
@@ -391,6 +483,45 @@ func (s *Server) evictFinished() {
 	s.order = kept
 }
 
+// journalStarted records a job's queued → running edge, best-effort
+// (the record is informational; replay keys off terminals).
+func (s *Server) journalStarted(j *job) {
+	if s.jnl == nil {
+		return
+	}
+	s.mu.Lock()
+	_ = s.jnl.Append(journal.Entry{Kind: journal.KindStarted, ID: j.id})
+	s.mu.Unlock()
+}
+
+// journalTerminal durably ends a job's journal lifecycle and compacts
+// the journal every compactEvery terminals: under s.mu the live
+// (unfinished) jobs are gathered and the file atomically rewritten to
+// just their accepted records. The append is best-effort — at this
+// point the job already finished in memory and its simulated work is
+// in the engine store; the worst a lost terminal costs is one cheap
+// (fully cached) replay after the next restart.
+func (s *Server) journalTerminal(j *job, kind journal.Kind, errMsg string) {
+	if s.jnl == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.jnl.Append(journal.Entry{Kind: kind, ID: j.id, Error: errMsg})
+	s.terminals++
+	if s.terminals < compactEvery {
+		return
+	}
+	s.terminals = 0
+	var live []journal.Entry
+	for _, o := range s.order {
+		if !o.view().Status.Finished() {
+			live = append(live, journal.Entry{Kind: journal.KindAccepted, ID: o.id, Spec: o.spec})
+		}
+	}
+	_ = s.jnl.Rewrite(live)
+}
+
 // runJob executes one job on the shared engine and finishes it with a
 // terminal status. A panic inside a job (a bug, not a load condition)
 // fails that job instead of the whole service.
@@ -399,12 +530,15 @@ func (s *Server) runJob(j *job) {
 	if j.ctx.Err() != nil || !j.setRunning(time.Now()) {
 		j.finish(client.StatusCanceled, "canceled while queued", nil, time.Now())
 		s.dropKey(j)
+		s.journalTerminal(j, journal.KindCanceled, "")
 		return
 	}
+	s.journalStarted(j)
 	defer func() {
 		if r := recover(); r != nil {
 			j.finish(client.StatusFailed, fmt.Sprintf("panic: %v", r), nil, time.Now())
 			s.dropKey(j)
+			s.journalTerminal(j, journal.KindFailed, fmt.Sprintf("panic: %v", r))
 		}
 	}()
 	res, err := s.simulate(j)
@@ -412,11 +546,14 @@ func (s *Server) runJob(j *job) {
 	case j.ctx.Err() != nil:
 		j.finish(client.StatusCanceled, "canceled", nil, time.Now())
 		s.dropKey(j)
+		s.journalTerminal(j, journal.KindCanceled, "")
 	case err != nil:
 		j.finish(client.StatusFailed, err.Error(), nil, time.Now())
 		s.dropKey(j)
+		s.journalTerminal(j, journal.KindFailed, err.Error())
 	default:
 		j.finish(client.StatusDone, "", res, time.Now())
+		s.journalTerminal(j, journal.KindDone, "")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/predictor"
 	"repro/internal/snap"
 	"repro/internal/trace"
@@ -407,6 +408,11 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 			return res, true
 		}
 	}
+	if err := faultinject.Err("sim/engine.item"); err != nil {
+		// Injected work-item failure: panic so forEach re-raises on the
+		// caller, the same path a real simulation bug would take.
+		panic(err)
+	}
 	start := workload.ShardStart(budget, shard, e.shards)
 	end := start + workload.ShardBudget(budget, shard, e.shards)
 	skip := start - e.warmup
@@ -485,6 +491,10 @@ func (e *Engine) runBenchExact(ctx context.Context, builder func() predictor.Pre
 				p = nil
 				continue
 			}
+		}
+		if err := faultinject.Err("sim/engine.item"); err != nil {
+			// Injected work-item failure; see runShard.
+			panic(err)
 		}
 		start := workload.ShardStart(budget, i, e.shards)
 		end := start + workload.ShardBudget(budget, i, e.shards)

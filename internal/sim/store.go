@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/faultinject"
 )
 
 // Key identifies one shard simulation in the on-disk result store.
@@ -109,27 +111,52 @@ func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, versionDir(k.Engine), id[:2], id[2:]+".json")
 }
 
-// Load returns the cached result for the key. Any miss, parse failure
-// or key mismatch reads as a cache miss.
+// Load returns the cached result for the key. A missing file (or an
+// injected "sim/store.load" fault) reads as a plain cache miss; an
+// entry that exists but cannot be trusted — unparsable JSON, or a key
+// mismatch — is quarantined so the next run rewrites it instead of
+// missing on the same poisoned file forever.
 func (s *Store) Load(k Key) (Result, bool) {
-	data, err := os.ReadFile(s.path(k))
+	if faultinject.Err("sim/store.load") != nil {
+		return Result{}, false
+	}
+	path := s.path(k)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return Result{}, false
 	}
 	var e entry
 	if json.Unmarshal(data, &e) != nil || e.Key != k {
+		s.quarantine(path)
 		return Result{}, false
 	}
 	return e.Result, true
 }
 
-// Save persists the result under the key, atomically.
+// Save persists the result under the key, atomically. The
+// "sim/store.save" fault point injects write failures; callers
+// already treat Save as best-effort.
 func (s *Store) Save(k Key, r Result) error {
+	if err := faultinject.Err("sim/store.save"); err != nil {
+		return err
+	}
 	data, err := json.Marshal(entry{Key: k, Result: r})
 	if err != nil {
 		return err
 	}
 	return s.writeAtomic(s.path(k), data)
+}
+
+// quarantine moves an untrustworthy cache entry out of the address
+// space by renaming it to <path>.bad (falling back to deletion), so
+// the entry reads as a miss and the next simulation rewrites it. The
+// .bad suffix keeps the evidence on disk for inspection without it
+// ever being addressed again: result and snapshot lookups match exact
+// filenames, and SnapshotPositions skips non-.snap names.
+func (s *Store) quarantine(path string) {
+	if os.Rename(path, path+".bad") != nil {
+		_ = os.Remove(path)
+	}
 }
 
 // writeAtomic writes data to path via a temp file + rename, creating
@@ -183,6 +210,9 @@ const snapMagic = "imlisnap1\n"
 // The payload is opaque to the store (the engine encodes partial
 // counters plus the predictor state through internal/snap).
 func (s *Store) SaveSnapshot(k SnapKey, payload []byte) error {
+	if err := faultinject.Err("sim/store.savesnap"); err != nil {
+		return err
+	}
 	kj, err := json.Marshal(k)
 	if err != nil {
 		panic(fmt.Sprintf("sim: snapshot key encoding: %v", err))
@@ -195,24 +225,34 @@ func (s *Store) SaveSnapshot(k SnapKey, payload []byte) error {
 	return s.writeAtomic(s.snapPath(k), data)
 }
 
-// LoadSnapshot returns the snapshot payload for the key. Any miss,
-// framing failure or key mismatch reads as a cache miss.
+// LoadSnapshot returns the snapshot payload for the key. A missing
+// file (or an injected "sim/store.loadsnap" fault) reads as a cache
+// miss; a snapshot that exists but fails its framing (magic, length,
+// key) is quarantined like a corrupt result entry, so resume stops
+// retrying a poisoned position and a later run rewrites it.
 func (s *Store) LoadSnapshot(k SnapKey) ([]byte, bool) {
-	data, err := os.ReadFile(s.snapPath(k))
+	if faultinject.Err("sim/store.loadsnap") != nil {
+		return nil, false
+	}
+	path := s.snapPath(k)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
 	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		s.quarantine(path)
 		return nil, false
 	}
 	data = data[len(snapMagic):]
 	n := int(data[0]) | int(data[1])<<8 | int(data[2])<<16 | int(data[3])<<24
 	data = data[4:]
 	if n < 0 || n > len(data) {
+		s.quarantine(path)
 		return nil, false
 	}
 	var got SnapKey
 	if json.Unmarshal(data[:n], &got) != nil || got != k {
+		s.quarantine(path)
 		return nil, false
 	}
 	return data[n:], true

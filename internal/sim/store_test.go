@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 func testKey() Key {
@@ -127,6 +129,186 @@ func TestStoreRejectsCorruptEntry(t *testing.T) {
 	}
 	if _, ok := s.Load(k); ok {
 		t.Error("corrupt entry served as a hit")
+	}
+}
+
+// quarantined asserts the entry at path was moved aside to path+".bad"
+// (or at least removed), so the poisoned file can never be read again.
+func quarantined(t *testing.T, path string) {
+	t.Helper()
+	if _, err := os.Stat(path); err == nil {
+		t.Fatalf("corrupt entry still addressable at %s", path)
+	}
+	if _, err := os.Stat(path + ".bad"); err != nil {
+		t.Fatalf("corrupt entry not preserved at %s.bad: %v", path, err)
+	}
+}
+
+func TestStoreQuarantinesGarbageEntry(t *testing.T) {
+	s := OpenStore(t.TempDir())
+	k := testKey()
+	if err := s.Save(k, Result{Trace: "MM-4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(k); ok {
+		t.Fatal("garbage entry served as a hit")
+	}
+	quarantined(t, s.path(k))
+	// The slot is usable again: a fresh Save round-trips.
+	want := Result{Trace: "MM-4", Mispredicted: 7}
+	if err := s.Save(k, want); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Load(k); !ok || got != want {
+		t.Fatalf("Load after requarantined Save = %+v, %v; want %+v", got, ok, want)
+	}
+}
+
+func TestStoreQuarantinesKeyMismatch(t *testing.T) {
+	s := OpenStore(t.TempDir())
+	a, b := testKey(), testKey()
+	b.Budget++
+	if err := s.Save(a, Result{Trace: "MM-4"}); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a's (valid, self-describing) entry at b's address: the key
+	// embedded in the file disagrees with the address, so Load must
+	// quarantine rather than trust either.
+	data, err := os.ReadFile(s.path(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(b)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(b), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(b); ok {
+		t.Fatal("key-mismatched entry served as a hit")
+	}
+	quarantined(t, s.path(b))
+}
+
+func TestStoreQuarantinesBadSnapshots(t *testing.T) {
+	s := OpenStore(t.TempDir())
+	k := SnapKey{Engine: EngineVersion, Config: "tage-gsc+imli", Suite: "cbp4", Trace: "MM-4", Seed: 1, Pos: 50000}
+	payload := []byte("predictor state bytes")
+	corruptions := map[string]func([]byte) []byte{
+		"truncated-below-frame": func(b []byte) []byte { return b[:len(snapMagic)+1] },
+		"bad-magic":             func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"oversized-key-length":  func(b []byte) []byte { b[len(snapMagic)+3] = 0x7f; return b },
+		"garbage-key":           func(b []byte) []byte { b[len(snapMagic)+4] ^= 0xff; return b },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			if err := s.SaveSnapshot(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(s.snapPath(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.snapPath(k), corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.LoadSnapshot(k); ok {
+				t.Fatal("corrupt snapshot served as a hit")
+			}
+			if _, err := os.Stat(s.snapPath(k)); err == nil {
+				t.Fatal("corrupt snapshot still addressable")
+			}
+			// The quarantined name must be invisible to position listing,
+			// or resume would keep probing the poisoned position.
+			for _, pos := range s.SnapshotPositions(k) {
+				if pos == k.Pos {
+					t.Fatalf("quarantined snapshot position %d still listed", pos)
+				}
+			}
+		})
+	}
+
+	// A snapshot stored under the wrong address (key mismatch) is
+	// quarantined too.
+	other := k
+	other.Pos = 99999
+	if err := s.SaveSnapshot(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.snapPath(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.snapPath(other), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadSnapshot(other); ok {
+		t.Fatal("key-mismatched snapshot served as a hit")
+	}
+	quarantined(t, s.snapPath(other))
+	if got, ok := s.LoadSnapshot(k); !ok || string(got) != string(payload) {
+		t.Fatalf("original snapshot damaged by quarantine of its copy: %q, %v", got, ok)
+	}
+}
+
+func TestStoreFaultPoints(t *testing.T) {
+	defer faultinject.Disable()
+	s := OpenStore(t.TempDir())
+	k := testKey()
+	want := Result{Trace: "MM-4", Mispredicted: 3}
+	if err := s.Save(k, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// An injected read fault is a transient miss: no hit, but also no
+	// quarantine — the entry must survive for the next, un-faulted read.
+	faultinject.Enable(faultinject.Plan{"sim/store.load": {Nth: []int{1}}})
+	if _, ok := s.Load(k); ok {
+		t.Fatal("Load hit through an injected fault")
+	}
+	if _, err := os.Stat(s.path(k)); err != nil {
+		t.Fatalf("injected read fault quarantined a healthy entry: %v", err)
+	}
+	if got, ok := s.Load(k); !ok || got != want {
+		t.Fatalf("Load after fault window = %+v, %v; want %+v", got, ok, want)
+	}
+
+	// Write faults surface as Save errors (callers treat Save as
+	// best-effort) and leave no entry behind.
+	k2 := testKey()
+	k2.Budget++
+	faultinject.Enable(faultinject.Plan{"sim/store.save": {Nth: []int{1}}})
+	if err := s.Save(k2, want); err == nil {
+		t.Fatal("Save succeeded through an injected fault")
+	}
+	if _, ok := s.Load(k2); ok {
+		t.Fatal("faulted Save left a readable entry")
+	}
+
+	// Same contract for the snapshot layer.
+	sk := SnapKey{Engine: EngineVersion, Config: "c", Suite: "s", Trace: "t", Seed: 1, Pos: 10}
+	faultinject.Enable(faultinject.Plan{})
+	if err := s.SaveSnapshot(sk, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(faultinject.Plan{
+		"sim/store.loadsnap": {Nth: []int{1}},
+		"sim/store.savesnap": {Nth: []int{1}},
+	})
+	if _, ok := s.LoadSnapshot(sk); ok {
+		t.Fatal("LoadSnapshot hit through an injected fault")
+	}
+	if _, err := os.Stat(s.snapPath(sk)); err != nil {
+		t.Fatalf("injected snapshot read fault quarantined a healthy snapshot: %v", err)
+	}
+	if err := s.SaveSnapshot(sk, []byte("y")); err == nil {
+		t.Fatal("SaveSnapshot succeeded through an injected fault")
+	}
+	if got, ok := s.LoadSnapshot(sk); !ok || string(got) != "x" {
+		t.Fatalf("snapshot after fault window = %q, %v; want the original payload", got, ok)
 	}
 }
 

@@ -101,6 +101,14 @@ func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
 // Int appends an int as 64 bits.
 func (e *Encoder) Int(v int) { e.I64(int64(v)) }
 
+// String appends a length-prefixed string. Strings are
+// variable-length by nature, so the decoder side (Decoder.String)
+// bounds the claimed length by the remaining input, VarLen-style.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
 // Uint8s appends a length-prefixed byte slice.
 func (e *Encoder) Uint8s(v []uint8) {
 	e.U32(uint32(len(v)))
@@ -279,6 +287,20 @@ func (d *Decoder) VarLen(perItem int) int {
 		return 0
 	}
 	return n
+}
+
+// String reads a length-prefixed string. The length is bounded by the
+// remaining input (the VarLen contract), so corrupt input cannot force
+// an arbitrary allocation. Decoded strings are data, not structure:
+// the stickyerr analyzer treats them like any other decoded value, so
+// they must not drive further decoder reads.
+func (d *Decoder) String() string {
+	n := d.VarLen(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
 }
 
 // Uint8s fills dst from a length-prefixed byte slice; the encoded

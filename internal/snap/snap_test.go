@@ -185,3 +185,31 @@ func TestDeterminism(t *testing.T) {
 		t.Error("same state encoded to different bytes")
 	}
 }
+
+func TestStringRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.String("")
+	e.String("tage-sc-l+imli")
+	e.String("päper/µarch\n")
+	d := NewDecoder(e.Bytes())
+	for _, want := range []string{"", "tage-sc-l+imli", "päper/µarch\n"} {
+		if got := d.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d after round trip", d.Err(), d.Remaining())
+	}
+}
+
+func TestStringBoundsAllocation(t *testing.T) {
+	e := NewEncoder()
+	e.U32(1 << 31) // absurd length claim, no payload
+	d := NewDecoder(e.Bytes())
+	if s := d.String(); s != "" {
+		t.Errorf("String() = %q, want empty on corrupt length", s)
+	}
+	if d.Err() == nil {
+		t.Fatal("oversized string length not detected")
+	}
+}
