@@ -123,14 +123,15 @@ func Simulate(p Predictor, b Benchmark, budget int) Result {
 type Option func(*engineOptions)
 
 type engineOptions struct {
-	parallel  int
-	shards    int
-	cacheDir  string
-	streamMem int64
-	snapshots bool
-	exact     bool
-	seeds     []int64
-	progress  io.Writer
+	parallel   int
+	shards     int
+	cacheDir   string
+	streamMem  int64
+	snapshots  bool
+	exact      bool
+	interleave int
+	seeds      []int64
+	progress   io.Writer
 }
 
 // WithParallel bounds concurrent shard simulations (default:
@@ -171,6 +172,17 @@ func WithSnapshots(on bool) Option { return func(o *engineOptions) { o.snapshots
 // WithSnapshots.
 func WithExactSharding(on bool) Option { return func(o *engineOptions) { o.exact = on } }
 
+// WithInterleave makes each engine worker advance n independent work
+// items in lockstep through the staged predict/train pipeline
+// (DESIGN.md §13): all n streams' index math, then all n streams'
+// table loads, then all n combines, so the streams' table-load misses
+// overlap instead of serializing behind one another. Results are
+// bit-identical to serial execution for any n; 0 or 1 selects the
+// serial driver. Most effective when per-stream table footprints
+// exceed cache — on cache-resident workloads the serial driver is
+// usually at least as fast.
+func WithInterleave(n int) Option { return func(o *engineOptions) { o.interleave = n } }
+
 // WithSeeds fans experiment simulations out over stream-seed variants
 // (DESIGN.md §10): seed 0 is the base stream every single-seed run
 // reports, other values deterministically remix each benchmark's seed.
@@ -199,7 +211,7 @@ func applyOptions(opts []Option) engineOptions {
 func (o engineOptions) engineConfig() sim.EngineConfig {
 	return sim.EngineConfig{
 		Workers: o.parallel, Shards: o.shards, CacheDir: o.cacheDir, StreamMemory: o.streamMem,
-		Snapshots: o.snapshots, ExactShards: o.exact,
+		Snapshots: o.snapshots, ExactShards: o.exact, Interleave: o.interleave,
 	}
 }
 
@@ -322,6 +334,7 @@ func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, err
 		StreamMemory: o.streamMem,
 		Snapshots:    o.snapshots,
 		ExactShards:  o.exact,
+		Interleave:   o.interleave,
 		Seeds:        o.seeds,
 		Progress:     o.progress,
 	})

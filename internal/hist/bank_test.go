@@ -138,3 +138,31 @@ func TestFoldedBankAddPanics(t *testing.T) {
 		}()
 	}
 }
+
+// BenchmarkFoldedBankPush measures the per-branch folded-register
+// advance over a TAGE-SC-L-shaped bank: 12 tagged tables contributing
+// an index fold and two tag folds each on a geometric history series,
+// plus the statistical corrector's global-table folds — the ~40
+// registers a composite predictor pushes once per branch.
+func BenchmarkFoldedBankPush(b *testing.B) {
+	g := NewGlobal(4096)
+	bank := NewFoldedBank()
+	lens := []int{4, 7, 12, 20, 33, 54, 88, 145, 238, 390, 640, 1050}
+	for _, l := range lens {
+		bank.Add(l, 10)
+		bank.Add(l, 12)
+		bank.Add(l, 11)
+	}
+	for _, l := range []int{4, 10, 16, 27, 44, 72} {
+		bank.Add(l, 9)
+	}
+	for i := 0; i < 4096; i++ {
+		g.Push(i%3 == 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Push(i&1 == 0)
+		bank.Push(g)
+	}
+}

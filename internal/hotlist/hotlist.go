@@ -11,9 +11,8 @@
 //     allocation-prone constructs anywhere reachable from them, with
 //     file:line diagnostics instead of an opaque allocs/op count.
 //
-// Adding a new hot entry point (say a staged PredictBatch for the
-// interleaved engine on the ROADMAP) means adding it here once; both
-// gates pick it up or fail loudly.
+// Adding a new hot entry point means adding it here once; both gates
+// pick it up or fail loudly.
 package hotlist
 
 // Packages are the import paths whose types carry the hot-path entry
@@ -25,8 +24,15 @@ func Packages() []string {
 }
 
 // Methods are the per-branch entry points of the predictor.Predictor
-// call protocol: the simulation engine calls exactly these once per
-// record in the hot loop (DESIGN.md §7).
+// call protocol — the simulation engine calls these once per record in
+// the hot loop (DESIGN.md §7) — plus the staged/batched entry points
+// the interleaved driver calls instead (DESIGN.md §13): the three
+// predict stages, the split train halves, and the batched history
+// advance (Advancer.Advance).
 func Methods() []string {
-	return []string{"Predict", "Train", "TrackOther"}
+	return []string{
+		"Predict", "Train", "TrackOther",
+		"PredictStage1", "PredictStage2", "PredictStage3",
+		"TrainTables", "SpecPush", "Advance",
+	}
 }

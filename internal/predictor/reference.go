@@ -1,0 +1,66 @@
+package predictor
+
+// Reference (monolithic) predict/train path, kept verbatim as the
+// oracle the staged pipeline in staged.go is property-tested against —
+// the same pattern as hist's FoldedBank-vs-Folded reference. Drive a
+// composite either entirely through Predict/Train[Tables] or entirely
+// through the Reference variants; the two must produce bit-identical
+// trajectories from the same seed state.
+
+// PredictReference is the original single-pass Predict.
+func (c *Composite) PredictReference(pc uint64) bool {
+	var pred bool
+	if c.tage != nil {
+		c.lastTage = c.tage.PredictReference(pc)
+		pred = c.gsc.Predict(pc, c.lastTage)
+	} else {
+		pred = c.gehl.Predict(pc)
+	}
+	c.lastLoopUsed = false
+	if c.lp != nil {
+		lpred, valid := c.lp.Predict(pc)
+		if valid && c.opts.LoopUse {
+			pred = lpred
+			c.lastLoopUsed = true
+		}
+	}
+	if c.wh != nil {
+		if wpred, use := c.wh.Predict(pc); use {
+			pred = wpred
+		}
+	}
+	c.lastFinal = pred
+	return pred
+}
+
+// TrainTablesReference is the original table-side update, training the
+// neural trees through the recompute-the-index path instead of the
+// stage-1 recorded indices.
+func (c *Composite) TrainTablesReference(pc, target uint64, taken bool) {
+	mispredicted := c.lastFinal != taken
+	backward := target < pc
+	if c.tage != nil {
+		c.gsc.Update(taken)
+		c.tage.Update(pc, taken, c.lastTage)
+	} else {
+		c.gehl.Update(pc, taken)
+	}
+	if c.lp != nil {
+		c.lp.Update(pc, taken, mispredicted, backward)
+	}
+	if c.wh != nil {
+		c.wh.Update(pc, taken, mispredicted, backward)
+	}
+	if c.oh != nil {
+		c.oh.UpdateHistory(pc, taken)
+	}
+	if c.loc != nil && !c.locDetached {
+		c.loc.UpdateHistory(pc, taken)
+	}
+}
+
+// TrainReference is the original immediate-update Train.
+func (c *Composite) TrainReference(pc, target uint64, taken bool) {
+	c.TrainTablesReference(pc, target, taken)
+	c.SpecPush(pc, target, taken)
+}

@@ -1,0 +1,126 @@
+package predictor
+
+import "repro/internal/hist"
+
+// Staged predict/train pipeline.
+//
+// The composite hot path is decomposed into three explicit stages —
+// stage 1 computes every bank index and tag from the history+PC hash,
+// stage 2 issues every table load, stage 3 combines the votes into the
+// final prediction — so that an interleaved driver can advance N
+// independent simulations in lockstep: all N streams' stage-1 index
+// math, then all N streams' loads, then all N combines. The cache
+// misses of different streams then overlap instead of serializing
+// behind one another.
+//
+// Per stream the decomposition is bit-identical to the monolithic path
+// (kept verbatim in reference.go): the stages only reorder pure reads,
+// and no predictor state mutates between the stages of one branch.
+// Train reuses the indices recorded at stage 1, which is exact because
+// every driver calls Predict immediately before TrainTables, and
+// within TrainTables the table training runs before any history
+// mutation (outer-history, local-history and IMLI pushes all come
+// later). Streams share no mutable state, so interleaving them
+// preserves each stream's bit-exact trajectory.
+
+// PredictStage1 is predict stage 1: compute every bank index and tag
+// for pc across the base predictor and corrector components.
+func (c *Composite) PredictStage1(pc uint64) {
+	c.stagePC = pc
+	if c.tage != nil {
+		pcMix := c.tage.IndexStage(pc)
+		c.gsc.StageIndex(pc, pcMix)
+	} else {
+		c.gehl.StageIndex(pc)
+	}
+}
+
+// PredictStage2 is predict stage 2: issue every table load at the
+// stage-1 indices. The loop and wormhole side predictors probe here
+// too — their lookups are loads like any other.
+func (c *Composite) PredictStage2() {
+	if c.tage != nil {
+		c.tage.LoadStage()
+		c.gsc.StageLoad()
+	} else {
+		c.gehl.StageLoad()
+	}
+	if c.lp != nil {
+		c.stageLoop, c.stageLoopOK = c.lp.Predict(c.stagePC)
+	}
+	if c.wh != nil {
+		c.stageWH, c.stageWHUse = c.wh.Predict(c.stagePC)
+	}
+}
+
+// PredictStage3 is predict stage 3: combine the loaded votes into the
+// final direction, applying the loop and wormhole overrides exactly as
+// the monolithic path does.
+func (c *Composite) PredictStage3() bool {
+	var pred bool
+	if c.tage != nil {
+		c.lastTage = c.tage.CombineStage()
+		pred = c.gsc.StageCombine(c.lastTage)
+	} else {
+		pred = c.gehl.StageCombine()
+	}
+	c.lastLoopUsed = false
+	if c.lp != nil && c.stageLoopOK && c.opts.LoopUse {
+		pred = c.stageLoop
+		c.lastLoopUsed = true
+	}
+	if c.wh != nil && c.stageWHUse {
+		pred = c.stageWH
+	}
+	c.lastFinal = pred
+	return pred
+}
+
+// Advance is one stream's resolved control-flow event for
+// Advancer.Advance: the history-side update that follows table
+// training.
+type Advance struct {
+	PC, Target uint64
+	Taken      bool
+	// Conditional selects between the SpecPush path (conditional
+	// branches: IMLI observe + outcome push) and the TrackOther path
+	// (other control flow: target-bit push).
+	Conditional bool
+}
+
+// Advancer batches the history-side update of N independent streams:
+// first every stream's scalar history pushes, then every stream's
+// folded-register bank walk (the widest load/store loop of the update
+// path) back to back via hist.PushBanks so their misses overlap. It
+// owns reusable scratch, so steady-state advances allocate nothing;
+// use one Advancer per driver goroutine (it is not goroutine-safe).
+type Advancer struct {
+	banks []*hist.FoldedBank
+	gs    []*hist.Global
+}
+
+// Advance applies one resolved event per stream. A nil composite skips
+// its slot. Bit-identical per stream to calling SpecPush (conditional)
+// or TrackOther (other) yourself.
+func (a *Advancer) Advance(cs []*Composite, adv []Advance) {
+	a.banks = a.banks[:0]
+	a.gs = a.gs[:0]
+	for k, c := range cs {
+		if c == nil {
+			continue
+		}
+		ev := adv[k]
+		if ev.Conditional {
+			if c.imli != nil {
+				c.imli.Observe(ev.PC, ev.Target, ev.Taken)
+			}
+			c.g.Push(ev.Taken)
+		} else {
+			c.g.Push((ev.Target>>2)&1 == 1)
+		}
+		c.path.Push(ev.PC)
+		a.banks = append(a.banks, c.bank)
+		a.gs = append(a.gs, c.g)
+	}
+	hist.PushBanks(a.banks, a.gs)
+}

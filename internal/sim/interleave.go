@@ -1,0 +1,229 @@
+package sim
+
+// Interleaved work-item driver (DESIGN.md §13): one worker advances a
+// group of independent (configuration × benchmark × shard) simulations
+// in lockstep through the staged predict/train pipeline. Each round
+// runs stage 1 (index math) for every co-resident stream, then stage 2
+// (table loads) for every stream, then stage 3 (combine) plus table
+// training, then the batched history advance — so the cache misses of
+// different streams overlap instead of serializing behind one
+// another's dependent loads. Streams share no mutable state, and per
+// stream the record order and the per-record operation sequence are
+// exactly those of feedOne, so every counter, store entry and snapshot
+// is bit-identical to the serial driver.
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// groupItem is one work item of an interleaved group: the input
+// (bench, shard) and the output (res, hit) slots.
+type groupItem struct {
+	bench workload.Benchmark
+	shard int
+	res   Result
+	hit   bool
+}
+
+// ivStream is the live state of one interleaved stream: a composite
+// predictor walking a window of a materialized record stream.
+type ivStream struct {
+	comp *predictor.Composite
+	item *groupItem
+	recs []trace.Record
+	pos  int // next stream position to feed
+	meas int // first measured position
+	end  int // one past the last fed position (clamped to the stream)
+}
+
+// runShardGroup serves a group of work items with one worker,
+// advancing all simultaneously-live simulations in lockstep. Per item
+// it mirrors runShard exactly: store lookup, fault injection, window
+// computation, snapshot resume, simulation, result store and snapshot
+// save. Items whose predictor is not a *predictor.Composite or whose
+// stream is not materialized fall back to the serial feedWindow.
+func (e *Engine) runShardGroup(builder func() predictor.Predictor, config, suite string, budget int, items []groupItem) {
+	type liveItem struct {
+		it       *groupItem
+		key      Key
+		p        predictor.Predictor
+		partial  Result
+		skip     int
+		finalPos int
+	}
+	var live []liveItem
+	var streams []*ivStream
+	for i := range items {
+		it := &items[i]
+		b := it.bench
+		key := Key{
+			Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
+			Budget: budget, Seed: b.Seed, Shard: it.shard, Shards: e.shards, Warmup: e.warmup,
+		}
+		if e.store != nil {
+			if res, ok := e.store.Load(key); ok {
+				e.hits.Add(1)
+				it.res, it.hit = res, true
+				continue
+			}
+		}
+		if err := faultinject.Err("sim/engine.item"); err != nil {
+			// Injected work-item failure; see runShard.
+			panic(err)
+		}
+		start := workload.ShardStart(budget, it.shard, e.shards)
+		end := start + workload.ShardBudget(budget, it.shard, e.shards)
+		skip := start - e.warmup
+		if skip < 0 {
+			skip = 0
+		}
+		measureEnd := end
+		if e.shards == 1 {
+			measureEnd = noLimit
+		}
+		var p predictor.Predictor
+		var partial Result
+		canSnapshot := e.snapshots && e.shards == 1 && e.store != nil
+		if canSnapshot {
+			if rp, part, pos := e.tryResume(builder, config, suite, b, budget); rp != nil {
+				p, partial, skip, start = rp, part, pos, pos
+			}
+		}
+		if p == nil {
+			p = builder()
+		}
+		var stream *workload.Stream
+		if e.streams != nil {
+			stream = e.streams.Get(b, budget)
+		}
+		comp, isComposite := p.(*predictor.Composite)
+		if isComposite && stream != nil {
+			recs := stream.Records()
+			clampedEnd := measureEnd
+			if clampedEnd > len(recs) {
+				clampedEnd = len(recs)
+			}
+			it.res = Result{Trace: b.Name, Predictor: p.Name()}
+			live = append(live, liveItem{it: it, key: key, p: p, partial: partial, skip: skip, finalPos: clampedEnd})
+			streams = append(streams, &ivStream{comp: comp, item: it, recs: recs, pos: skip, meas: start, end: clampedEnd})
+		} else {
+			// Serial fallback, identical to runShard's body.
+			res, finalPos, fed := e.feedWindow(p, b, budget, skip, start, measureEnd)
+			res.Instructions += partial.Instructions
+			res.Records += partial.Records
+			res.Conditionals += partial.Conditionals
+			res.Mispredicted += partial.Mispredicted
+			it.res = res
+			e.simulated.Add(1)
+			e.records.Add(uint64(fed))
+			if e.store != nil {
+				_ = e.store.Save(key, res)
+			}
+			if canSnapshot && finalPos > 0 {
+				e.saveSnapshot(p, config, suite, b, finalPos, res)
+			}
+		}
+	}
+
+	feedInterleaved(streams)
+
+	canSnapshot := e.snapshots && e.shards == 1 && e.store != nil
+	for _, li := range live {
+		res := &li.it.res
+		res.Instructions += li.partial.Instructions
+		res.Records += li.partial.Records
+		res.Conditionals += li.partial.Conditionals
+		res.Mispredicted += li.partial.Mispredicted
+		e.simulated.Add(1)
+		fed := li.finalPos - li.skip
+		if fed < 0 {
+			fed = 0
+		}
+		e.records.Add(uint64(fed))
+		if e.store != nil {
+			_ = e.store.Save(li.key, *res)
+		}
+		if canSnapshot && li.finalPos > 0 {
+			e.saveSnapshot(li.p, config, suite, li.it.bench, li.finalPos, *res)
+		}
+	}
+}
+
+// feedInterleaved advances every stream one record per round through
+// the staged pipeline. Per stream it is feedRecords restated: the same
+// records in the same order, with the same measurement window, through
+// the stage decomposition of Predict/Train that predictor/staged.go
+// proves bit-identical.
+func feedInterleaved(streams []*ivStream) {
+	n := len(streams)
+	if n == 0 {
+		return
+	}
+	cs := make([]*predictor.Composite, n)
+	adv := make([]predictor.Advance, n)
+	var a predictor.Advancer
+	for {
+		liveCount := 0
+		for k, s := range streams {
+			if s.pos < s.end {
+				cs[k] = s.comp
+				liveCount++
+			} else {
+				cs[k] = nil
+			}
+		}
+		if liveCount == 0 {
+			return
+		}
+		// Stage 1: index math for every live stream's branch.
+		for k, s := range streams {
+			if cs[k] == nil {
+				continue
+			}
+			if r := s.recs[s.pos]; r.Conditional() {
+				s.comp.PredictStage1(r.PC)
+			}
+		}
+		// Stage 2: every stream's table loads, back to back.
+		for k, s := range streams {
+			if cs[k] == nil {
+				continue
+			}
+			if s.recs[s.pos].Conditional() {
+				s.comp.PredictStage2()
+			}
+		}
+		// Stage 3: combine, account, train tables.
+		for k, s := range streams {
+			if cs[k] == nil {
+				continue
+			}
+			r := s.recs[s.pos]
+			res := &s.item.res
+			measured := s.pos >= s.meas
+			if measured {
+				res.Records++
+				res.Instructions += r.Instructions()
+			}
+			if r.Conditional() {
+				pred := s.comp.PredictStage3()
+				if measured {
+					res.Conditionals++
+					if pred != r.Taken {
+						res.Mispredicted++
+					}
+				}
+				s.comp.TrainTables(r.PC, r.Target, r.Taken)
+				adv[k] = predictor.Advance{PC: r.PC, Target: r.Target, Taken: r.Taken, Conditional: true}
+			} else {
+				adv[k] = predictor.Advance{PC: r.PC, Target: r.Target, Taken: r.Taken}
+			}
+			s.pos++
+		}
+		// History advance for all streams, batched.
+		a.Advance(cs, adv)
+	}
+}

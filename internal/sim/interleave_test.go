@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestInterleavedMatchesSerial is the engine-level bit-identity gate
+// for the interleaved driver: the same suite run at every interleave
+// factor (including shards, warm-up, snapshots and multiple workers)
+// must produce results identical to the serial engine, field for
+// field.
+func TestInterleavedMatchesSerial(t *testing.T) {
+	benches := workload.CBP4()[:4]
+	const budget = 9000
+	for _, config := range []string{"tage-sc-l+imli", "gehl+imli", "gshare"} {
+		serial := NewEngine(EngineConfig{Workers: 3}).RunSuite(builderFor(config), config, "cbp4", benches, budget)
+		for _, n := range []int{2, 4, 8} {
+			iv := NewEngine(EngineConfig{Workers: 3, Interleave: n}).RunSuite(builderFor(config), config, "cbp4", benches, budget)
+			for i := range serial.Results {
+				if iv.Results[i] != serial.Results[i] {
+					t.Errorf("%s interleave=%d: %+v != serial %+v",
+						config, n, iv.Results[i], serial.Results[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInterleavedSharded covers the grouped scheduling across shard
+// boundaries: groups mix shards of different benchmarks, and warm-up
+// windows must stay per-shard exact.
+func TestInterleavedSharded(t *testing.T) {
+	benches := workload.CBP4()[:3]
+	const budget = 20000
+	cfg := EngineConfig{Workers: 2, Shards: 4}
+	serial := NewEngine(cfg).RunSuite(builderFor("tage-gsc"), "tage-gsc", "cbp4", benches, budget)
+	cfg.Interleave = 3
+	iv := NewEngine(cfg).RunSuite(builderFor("tage-gsc"), "tage-gsc", "cbp4", benches, budget)
+	for i := range serial.Results {
+		if iv.Results[i] != serial.Results[i] {
+			t.Errorf("%s: interleaved %+v != serial %+v", serial.Results[i].Trace, iv.Results[i], serial.Results[i])
+		}
+	}
+}
+
+// TestInterleavedStoreAndSnapshots checks that the interleaved driver
+// writes the same store entries and prefix snapshots the serial driver
+// does: a serial engine over a store populated by an interleaved run
+// must hit on every item, and a budget extension must resume from the
+// interleaved run's snapshots.
+func TestInterleavedStoreAndSnapshots(t *testing.T) {
+	benches := workload.CBP4()[:3]
+	store := OpenStore(t.TempDir())
+	cfg := EngineConfig{Interleave: 4, Snapshots: true, Store: store}
+
+	e1 := NewEngine(cfg)
+	run1 := e1.RunSuite(builderFor("tage-sc-l+imli"), "tage-sc-l+imli", "cbp4", benches, 6000)
+	if got := e1.Stats().Simulated; got != 3 {
+		t.Fatalf("first run simulated %d items, want 3", got)
+	}
+
+	// Same budget, serial engine: every item must be a store hit.
+	serial := NewEngine(EngineConfig{Store: store})
+	run2 := serial.RunSuite(builderFor("tage-sc-l+imli"), "tage-sc-l+imli", "cbp4", benches, 6000)
+	if got := serial.Stats().CacheHits; got != 3 {
+		t.Errorf("serial re-run hit %d items, want 3", got)
+	}
+	for i := range run1.Results {
+		if run1.Results[i] != run2.Results[i] {
+			t.Errorf("%s: stored %+v != serial load %+v", run1.Results[i].Trace, run1.Results[i], run2.Results[i])
+		}
+	}
+
+	// Budget extension on a fresh interleaved engine: must resume from
+	// the snapshots and match a cold serial run bit for bit.
+	e3 := NewEngine(cfg)
+	long := e3.RunSuite(builderFor("tage-sc-l+imli"), "tage-sc-l+imli", "cbp4", benches, 12000)
+	if got := e3.Stats().Resumed; got != 3 {
+		t.Errorf("extension resumed %d items, want 3", got)
+	}
+	cold := NewEngine(EngineConfig{}).RunSuite(builderFor("tage-sc-l+imli"), "tage-sc-l+imli", "cbp4", benches, 12000)
+	for i := range long.Results {
+		if long.Results[i] != cold.Results[i] {
+			t.Errorf("%s: resumed %+v != cold %+v", long.Results[i].Trace, long.Results[i], cold.Results[i])
+		}
+	}
+}
+
+// TestInterleavedNonCompositeFallsBack exercises the serial fallback
+// for registry adapters that are not *predictor.Composite (bimodal,
+// gshare run through the plain feedWindow inside a group).
+func TestInterleavedNonCompositeFallsBack(t *testing.T) {
+	benches := workload.CBP4()[:4]
+	serial := NewEngine(EngineConfig{}).RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, 5000)
+	iv := NewEngine(EngineConfig{Interleave: 4}).RunSuite(builderFor("bimodal"), "bimodal", "cbp4", benches, 5000)
+	for i := range serial.Results {
+		if iv.Results[i] != serial.Results[i] {
+			t.Errorf("%s: %+v != %+v", serial.Results[i].Trace, iv.Results[i], serial.Results[i])
+		}
+	}
+}
