@@ -114,7 +114,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 		}
 		return &Error{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfterHeader(resp)}
 	}
-	if out == nil {
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		// 204 carries no body by definition (LeaseWork's "queue empty"
+		// answer); the caller's out value stays zero.
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)

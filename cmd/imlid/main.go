@@ -21,11 +21,20 @@
 // resume the rest (DESIGN.md §12). -rate-limit sheds per-caller
 // overload with 429 + Retry-After.
 //
+// With -coordinator the daemon's engine stops simulating in-process
+// and instead serves its work items as a worker-pull queue under
+// /v1/work/ (DESIGN.md §14); worker processes (cmd/imliworker, or
+// imlid -worker <url>) lease items, simulate them locally, and post
+// results back. Distributed results are bit-identical to in-process
+// runs; a worker lost mid-item is re-dispatched after -lease-ttl.
+//
 // Usage:
 //
 //	imlid -addr=:8327 -cache-dir=.imli-cache -snapshots
 //	imlid -addr=:8327 -shards=4 -parallel=16 -job-workers=4
 //	imlid -addr=:8327 -cache-dir=.imli-cache -rate-limit=20
+//	imlid -addr=:8327 -coordinator -shards=4   # queue owner
+//	imlid -worker http://host:8327             # fleet member
 //	imlid -once                     # one-shot self-test loop, then exit
 //
 // Submit a job with curl:
@@ -46,11 +55,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/client"
 	"repro/internal/cliflags"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/journal"
 	"repro/internal/predictor"
@@ -81,11 +93,21 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	rateLimit := fs.Float64("rate-limit", 0, "per-caller API requests per second; past it callers get 429 + Retry-After (0 disables)")
 	rateBurst := fs.Int("rate-burst", 0, "per-caller burst on top of -rate-limit (0 = ceil(rate-limit))")
 	once := fs.Bool("once", false, "self-test mode: serve on an ephemeral port, run a client round trip (submit, dedup, SSE, result, bit-identity), then exit")
+	dflags := cliflags.RegisterDist(fs)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+	if err := dflags.Validate(eng.Interleave); err != nil {
+		return err
+	}
+	if *once && (dflags.Coordinator || dflags.WorkerURL != "") {
+		return fmt.Errorf("-once is an in-process self-test; it does not combine with -coordinator or -worker")
+	}
+	if dflags.WorkerURL != "" {
+		return runWorker(stdout, dflags.WorkerURL, eng)
 	}
 	if err := cliflags.Positive("job-workers", *jobWorkers); err != nil {
 		return err
@@ -119,9 +141,18 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	engCfg := eng.Config()
+	var coord *dist.Coordinator
+	var workHandler http.Handler
+	if dflags.Coordinator {
+		coord = dist.NewCoordinator(dist.CoordinatorConfig{LeaseTTL: dflags.LeaseTTL})
+		defer coord.Close()
+		engCfg.Remote = coord
+		workHandler = coord.Handler()
+	}
 	newServer := func() *serve.Server {
 		return serve.NewServer(serve.Config{
-			Engine:        sim.NewEngine(eng.Config()),
+			Engine:        sim.NewEngine(engCfg),
 			JobWorkers:    *jobWorkers,
 			QueueDepth:    *queueDepth,
 			DefaultBudget: *budget,
@@ -129,11 +160,12 @@ func run(argv []string, stdout, stderr io.Writer) error {
 			Journal:       jnl,
 			RatePerSec:    *rateLimit,
 			RateBurst:     *rateBurst,
+			WorkHandler:   workHandler,
 		})
 	}
 
 	if *once {
-		return runOnce(stdout, newServer(), eng.Config())
+		return runOnce(stdout, newServer(), engCfg)
 	}
 
 	srv := newServer()
@@ -141,6 +173,9 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if coord != nil {
+		fmt.Fprintf(stdout, "imlid: coordinating work items under /v1/work/ (lease TTL %s)\n", dflags.LeaseTTL)
 	}
 	fmt.Fprintf(stdout, "imlid: listening on %s (job workers %d, default budget %d)\n",
 		ln.Addr(), *jobWorkers, *budget)
@@ -169,6 +204,48 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "imlid: drained")
 		return nil
 	}
+}
+
+// runWorker runs the daemon as a worker-fleet member: lease loops
+// pulling work items from the coordinator at baseURL until SIGINT or
+// SIGTERM. The worker's engine flags are its own (-parallel bounds
+// concurrent simulations, -cache-dir keeps its warm local store);
+// item geometry — shards, budgets, warm-up — comes from each leased
+// item. Killing a worker at any instant is safe: its leases expire
+// and the coordinator re-dispatches the items.
+func runWorker(stdout io.Writer, baseURL string, eng *cliflags.Engine) error {
+	url, err := cliflags.ParseWorkerURL(baseURL)
+	if err != nil {
+		return err
+	}
+	engine := sim.NewEngine(eng.Config())
+	slots := eng.Parallel
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(stdout, "imlid: worker polling %s (slots %d)\n", url, slots)
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		w := &dist.Worker{
+			Client: client.New(url),
+			Engine: engine,
+			Name:   fmt.Sprintf("%s-%d-%d", host, os.Getpid(), i),
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	wg.Wait()
+	fmt.Fprintln(stdout, "imlid: worker stopped")
+	return nil
 }
 
 // runOnce exercises the full service loop in-process — the smoke test

@@ -197,6 +197,102 @@ func TestCrashRestartReplay(t *testing.T) {
 	}
 }
 
+// TestDistributedSmoke is the end-to-end distributed contract
+// (DESIGN.md §14) with real processes: an imlid -coordinator daemon,
+// two imliworker fleet members, one of them SIGKILLed mid-run. The
+// coordinator re-dispatches the lost worker's leases after -lease-ttl,
+// the survivor finishes the suite, and the job result is bit-identical
+// to the same spec run directly on a local engine.
+func TestDistributedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two real binaries and kill -9s a worker")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "imlid")
+	wbin := filepath.Join(dir, "imliworker")
+	for target, pkg := range map[string]string{bin: ".", wbin: "../imliworker"} {
+		build := exec.Command("go", "build", "-o", target, pkg)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	cmd, base := startDaemon(t, bin, "-coordinator", "-shards=2", "-lease-ttl=1s", "-job-workers=1")
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		w := exec.Command(wbin, "-coordinator", base, "-slots=2", fmt.Sprintf("-name=w%d", i))
+		w.Stdout, w.Stderr = io.Discard, io.Discard
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			_ = w.Process.Kill()
+			_ = w.Wait()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	const config, suite, budget = "gshare", "cbp4", 400000
+	c := client.New(base)
+	job, err := c.Submit(ctx, client.Spec{Type: client.JobSuite, Config: config, Suite: suite, Budget: budget})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// First progress means the fleet is running items; kill -9 one
+	// worker so its outstanding leases die with it. cbp4 × 2 shards is
+	// 80 items, so the kill lands with most of the suite outstanding.
+	sentinel := fmt.Errorf("first progress seen")
+	err = c.Watch(ctx, job.ID, func(ev client.Event) error {
+		if ev.Type == "progress" {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("watching for first progress: %v", err)
+	}
+	if err := workers[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = workers[0].Wait()
+
+	final, err := c.Wait(ctx, job.ID, nil)
+	if err != nil {
+		t.Fatalf("waiting on job after worker loss: %v", err)
+	}
+	if final.Status != client.StatusDone {
+		t.Fatalf("job finished %s: %s", final.Status, final.Error)
+	}
+	res, err := c.Result(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+
+	// The reference: the identical spec and geometry on a fresh local
+	// engine — distributed execution must not move a single bit.
+	ref := sim.NewEngine(sim.EngineConfig{Shards: 2}).RunSuite(
+		func() predictor.Predictor { return predictor.MustNew(config) },
+		config, suite, workload.Suites()[suite], budget)
+	if len(res.Suite.Results) != len(ref.Results) {
+		t.Fatalf("result count mismatch: distributed %d, direct %d", len(res.Suite.Results), len(ref.Results))
+	}
+	for i, got := range res.Suite.Results {
+		if want := sim.FormatResult(ref.Results[i]); got.Text != want {
+			t.Fatalf("trace %s not bit-identical after worker loss:\ndistributed: %s\ndirect:      %s",
+				got.Trace, got.Text, want)
+		}
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}, io.Discard, io.Discard); err == nil {
 		t.Error("bad flag accepted")

@@ -11,6 +11,10 @@
 // record 0; -exact-shards chains those snapshots across shard
 // boundaries so sharded results are bit-identical to unsharded runs;
 // -cache-prune deletes entries stranded by engine-version bumps.
+// -workers=N runs the suite through a loopback coordinator queue
+// served by N local worker processes-in-miniature (DESIGN.md §14) —
+// the same wire path a distributed imlid fleet uses, with
+// bit-identical results.
 //
 // Usage:
 //
@@ -20,6 +24,7 @@
 //	imlisim -suite=cbp4 -all-configs -shards=4 -cache-dir=.imli-cache
 //	imlisim -suite=cbp4 -branches=200000 -snapshots -cache-dir=.imli-cache
 //	imlisim -predictor=tage-gsc -suite=cbp4 -seeds=5   # mean ± 95% CI per trace
+//	imlisim -predictor=tage-gsc -suite=cbp4 -workers=4 # loopback worker cluster
 //	imlisim -cache-dir=.imli-cache -cache-prune
 //	imlisim -predictors            # list configurations
 package main
@@ -34,6 +39,7 @@ import (
 
 	"repro/internal/btb"
 	"repro/internal/cliflags"
+	"repro/internal/dist"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -58,6 +64,7 @@ func run(argv []string, stdout, stderr io.Writer) error {
 	branches := fs.Int("branches", 250000, "branch records per synthetic trace")
 	eng := cliflags.Register(fs)
 	cliflags.RegisterInterleave(fs, eng)
+	workers := cliflags.RegisterWorkers(fs)
 	seeds := cliflags.RegisterSeeds(fs)
 	cachePrune := fs.Bool("cache-prune", false, "delete cache entries from stale engine versions under -cache-dir, then exit (unless a run is requested)")
 	allConfigs := fs.Bool("all-configs", false, "batch mode: run every registry configuration over -suite or -bench")
@@ -95,6 +102,15 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		// interleave factor would be silently ignored there.
 		return fmt.Errorf("-interleave applies to engine suite runs (-suite or -bench), not -trace")
 	}
+	if err := cliflags.ValidateWorkers(*workers, eng.Interleave); err != nil {
+		return err
+	}
+	if *workers > 0 && *suite == "" && !*allConfigs {
+		// Only the engine suite paths dispatch work items; -trace and a
+		// single -bench run outside the engine, where a worker cluster
+		// would be silently ignored.
+		return fmt.Errorf("-workers applies to engine suite runs (-suite or -all-configs)")
+	}
 	if len(seedList) > 0 {
 		// A seed sweep reruns the deterministic synthetic streams under
 		// remixed seeds; an on-disk trace has exactly one instance, and
@@ -124,6 +140,27 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// newEngine builds the run's engine; with -workers its in-process
+	// simulation is replaced by a loopback coordinator queue served by
+	// a local worker cluster (DESIGN.md §14) — same wire path as a real
+	// fleet, bit-identical results. The caller must invoke the returned
+	// cleanup when the run is done.
+	newEngine := func() (*sim.Engine, func(), error) {
+		cfg := eng.Config()
+		if *workers == 0 {
+			return sim.NewEngine(cfg), func() {}, nil
+		}
+		streams := workload.NewStreamCache(cfg.StreamMemory, "")
+		cluster, err := dist.StartLocal(*workers, dist.CoordinatorConfig{}, func(int) *sim.Engine {
+			return sim.NewEngine(sim.EngineConfig{Streams: streams})
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Remote = cluster.Coordinator
+		return sim.NewEngine(cfg), func() { cluster.Close() }, nil
+	}
+
 	switch {
 	case *listPredictors:
 		names := predictor.Names()
@@ -141,7 +178,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if *traceFile != "" {
 			return fmt.Errorf("-all-configs works on -suite or -bench, not -trace")
 		}
-		engine := sim.NewEngine(eng.Config())
+		engine, done, err := newEngine()
+		if err != nil {
+			return err
+		}
+		defer done()
 		return runAllConfigs(stdout, engine, *suite, *bench, *branches)
 	case *traceFile != "":
 		return runTraceFile(stdout, *config, *traceFile)
@@ -174,7 +215,11 @@ func run(argv []string, stdout, stderr io.Writer) error {
 		if _, err := predictor.New(*config); err != nil {
 			return err
 		}
-		engine := sim.NewEngine(eng.Config())
+		engine, done, err := newEngine()
+		if err != nil {
+			return err
+		}
+		defer done()
 		if len(seedList) > 0 {
 			return runSuiteSweep(stdout, engine, *config, *suite, benches, *branches, seedList)
 		}

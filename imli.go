@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/btb"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/predictor"
 	"repro/internal/serve"
@@ -130,6 +131,8 @@ type engineOptions struct {
 	snapshots  bool
 	exact      bool
 	interleave int
+	workers    int
+	workersSet bool
 	seeds      []int64
 	progress   io.Writer
 }
@@ -183,6 +186,19 @@ func WithExactSharding(on bool) Option { return func(o *engineOptions) { o.exact
 // usually at least as fast.
 func WithInterleave(n int) Option { return func(o *engineOptions) { o.interleave = n } }
 
+// WithWorkers distributes the run over n in-process workers pulling
+// work items from a loopback coordinator queue (DESIGN.md §14) — the
+// one-machine form of the multi-node imlid deployment (imlid
+// -coordinator plus cmd/imliworker fleets). Results are bit-identical
+// to in-process execution: work items are values, simulation is
+// deterministic, and remote results merge through the same
+// content-addressed store keys. n must be at least 1; incompatible
+// with WithInterleave (the lockstep pipeline is an in-process
+// arrangement).
+func WithWorkers(n int) Option {
+	return func(o *engineOptions) { o.workers, o.workersSet = n, true }
+}
+
 // WithSeeds fans experiment simulations out over stream-seed variants
 // (DESIGN.md §10): seed 0 is the base stream every single-seed run
 // reports, other values deterministically remix each benchmark's seed.
@@ -198,12 +214,18 @@ func WithSeeds(seeds ...int64) Option {
 // accounting) to w while an experiment runs.
 func WithProgress(w io.Writer) Option { return func(o *engineOptions) { o.progress = w } }
 
-func applyOptions(opts []Option) engineOptions {
+func applyOptions(opts []Option) (engineOptions, error) {
 	var o engineOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return o
+	if o.workersSet && o.workers < 1 {
+		return o, fmt.Errorf("imli: WithWorkers needs at least one worker, got %d", o.workers)
+	}
+	if o.workers > 0 && o.interleave > 1 {
+		return o, fmt.Errorf("imli: WithWorkers and WithInterleave are exclusive: the lockstep pipeline is an in-process arrangement")
+	}
+	return o, nil
 }
 
 // engineConfig maps the collected options onto the engine's
@@ -226,8 +248,22 @@ func SimulateSuite(config, suite string, budget int, opts ...Option) (SuiteRun, 
 	if _, err := predictor.New(config); err != nil {
 		return SuiteRun{}, err
 	}
-	o := applyOptions(opts)
-	engine := sim.NewEngine(o.engineConfig())
+	o, err := applyOptions(opts)
+	if err != nil {
+		return SuiteRun{}, err
+	}
+	cfg := o.engineConfig()
+	if o.workers > 0 {
+		cluster, err := dist.StartLocal(o.workers, dist.CoordinatorConfig{}, func(i int) *sim.Engine {
+			return sim.NewEngine(sim.EngineConfig{})
+		})
+		if err != nil {
+			return SuiteRun{}, err
+		}
+		defer cluster.Close()
+		cfg.Remote = cluster.Coordinator
+	}
+	engine := sim.NewEngine(cfg)
 	builder := func() Predictor { return predictor.MustNew(config) }
 	return engine.RunSuite(builder, config, suite, benches, budget), nil
 }
@@ -291,16 +327,25 @@ type ServiceConfig struct {
 
 // NewService returns a running evaluation service backed by an engine
 // built from the usual engine options. The caller owns its lifecycle:
-// serve its Handler, and stop it with Drain.
-func NewService(cfg ServiceConfig, opts ...Option) *Service {
-	o := applyOptions(opts)
+// serve its Handler, and stop it with Drain. WithWorkers is not an
+// engine option here — a multi-machine service is imlid -coordinator
+// (its engine dispatches to a worker-pull queue served under
+// /v1/work/; see DESIGN.md §14), so the option reports an error.
+func NewService(cfg ServiceConfig, opts ...Option) (*Service, error) {
+	o, err := applyOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.workersSet {
+		return nil, fmt.Errorf("imli: NewService does not take WithWorkers; run the service as a coordinator (imlid -coordinator) with a worker fleet instead")
+	}
 	return serve.NewServer(serve.Config{
 		Engine:        sim.NewEngine(o.engineConfig()),
 		JobWorkers:    cfg.JobWorkers,
 		QueueDepth:    cfg.QueueDepth,
 		DefaultBudget: cfg.DefaultBudget,
 		KeepJobs:      cfg.KeepJobs,
-	})
+	}), nil
 }
 
 // Experiment reproduces one paper table or figure.
@@ -322,7 +367,10 @@ func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, err
 	if err != nil {
 		return ExperimentReport{}, err
 	}
-	o := applyOptions(opts)
+	o, err := applyOptions(opts)
+	if err != nil {
+		return ExperimentReport{}, err
+	}
 	if err := experiments.CheckSeeds(o.seeds); err != nil {
 		return ExperimentReport{}, err
 	}
@@ -335,8 +383,10 @@ func RunExperiment(id string, budget int, opts ...Option) (ExperimentReport, err
 		Snapshots:    o.snapshots,
 		ExactShards:  o.exact,
 		Interleave:   o.interleave,
+		Workers:      o.workers,
 		Seeds:        o.seeds,
 		Progress:     o.progress,
 	})
+	defer r.Close()
 	return e.Run(r), nil
 }

@@ -209,3 +209,53 @@ func TestFacadeExperimentOptions(t *testing.T) {
 		t.Error("cached experiment differs from fresh run")
 	}
 }
+
+func TestFacadeWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	ref, err := imli.SimulateSuite("gshare", "cbp4", 4000, imli.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := imli.SimulateSuite("gshare", "cbp4", 4000, imli.WithShards(2), imli.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Results {
+		if run.Results[i] != ref.Results[i] {
+			t.Errorf("%s: distributed result differs from in-process", ref.Results[i].Trace)
+		}
+	}
+
+	if _, err := imli.SimulateSuite("gshare", "cbp4", 4000, imli.WithWorkers(0)); err == nil {
+		t.Error("WithWorkers(0) accepted")
+	}
+	if _, err := imli.SimulateSuite("gshare", "cbp4", 4000,
+		imli.WithWorkers(2), imli.WithInterleave(4)); err == nil {
+		t.Error("WithWorkers + WithInterleave accepted")
+	}
+	if _, err := imli.RunExperiment("e1", 2000, imli.WithWorkers(-1)); err == nil {
+		t.Error("RunExperiment WithWorkers(-1) accepted")
+	}
+	if _, err := imli.NewService(imli.ServiceConfig{}, imli.WithWorkers(2)); err == nil {
+		t.Error("NewService WithWorkers accepted")
+	}
+}
+
+func TestFacadeExperimentWithWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	ref, err := imli.RunExperiment("e1", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := imli.RunExperiment("e1", 2000, imli.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Text != ref.Text {
+		t.Error("distributed experiment report differs from in-process run")
+	}
+}

@@ -1,0 +1,64 @@
+package dist
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/client"
+)
+
+// Handler returns the coordinator's worker-pull HTTP API (docs/API.md):
+//
+//	POST /v1/work/lease     lease one item (204 when none pending)
+//	POST /v1/work/complete  post a leased item's outcome
+//	GET  /v1/work/stats     queue depth + scheduling counters
+//
+// The endpoints use the serve-layer JSON envelope ({"error": ...} on
+// failure) and are meant to be mounted unauthenticated and un-rate-
+// limited next to the job API (serve.Config.WorkHandler): workers are
+// trusted infrastructure, and shedding them would stall every job on
+// the coordinator.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/work/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/work/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/work/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	})
+	return mux
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req client.WorkLeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeHTTPError(w, http.StatusBadRequest, "bad lease request: "+err.Error())
+		return
+	}
+	l, ok := c.Lease(req.Worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, l)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var comp client.WorkCompletion
+	if err := json.NewDecoder(r.Body).Decode(&comp); err != nil {
+		writeHTTPError(w, http.StatusBadRequest, "bad completion: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Complete(comp))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeHTTPError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/dist"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -59,6 +60,14 @@ type Params struct {
 	// path (DESIGN.md §13). 0 or 1 runs work items serially; results
 	// are bit-identical either way.
 	Interleave int
+	// Workers, when > 0, runs the simulations on a local worker
+	// cluster (DESIGN.md §14): the runner's engine becomes a
+	// coordinator dispatching work items over a loopback worker-pull
+	// queue to this many in-process workers. Results are bit-identical
+	// to in-process execution. The caller must Close the runner to
+	// stop the cluster. Ignored (like the other engine knobs) when
+	// Engine is set.
+	Workers int
 	// Engine, when non-nil, executes the runner's suite simulations
 	// instead of a privately built engine, sharing its worker pool,
 	// stream cache, result store, and snapshots across runners — the
@@ -126,8 +135,9 @@ func QuickParams() Params { return Params{Budget: 40000} }
 // deduplicates suite runs inside one process; the engine's result
 // store (Params.CacheDir) makes them incremental across processes.
 type Runner struct {
-	params Params
-	engine *sim.Engine
+	params  Params
+	engine  *sim.Engine
+	cluster *dist.Cluster
 
 	mu      sync.Mutex
 	suites  map[string][]workload.Benchmark
@@ -147,15 +157,32 @@ func NewRunner(p Params) *Runner {
 		panic(err)
 	}
 	engine := p.Engine
+	var cluster *dist.Cluster
 	if engine == nil {
-		engine = sim.NewEngine(sim.EngineConfig{
+		cfg := sim.EngineConfig{
 			Workers: p.Parallel, Shards: p.Shards, CacheDir: p.CacheDir, StreamMemory: p.StreamMemory,
 			Snapshots: p.Snapshots, ExactShards: p.ExactShards, Interleave: p.Interleave,
-		})
+		}
+		if p.Workers > 0 {
+			// Local worker cluster: the runner's engine coordinates, and
+			// the workers share one stream cache so each benchmark still
+			// materializes once per process.
+			streams := workload.NewStreamCache(p.StreamMemory, "")
+			var err error
+			cluster, err = dist.StartLocal(p.Workers, dist.CoordinatorConfig{}, func(i int) *sim.Engine {
+				return sim.NewEngine(sim.EngineConfig{Streams: streams})
+			})
+			if err != nil {
+				panic(err) // p.Workers > 0 rules out the only config error
+			}
+			cfg.Remote = cluster.Coordinator
+		}
+		engine = sim.NewEngine(cfg)
 	}
 	return &Runner{
 		params:  p,
 		engine:  engine,
+		cluster: cluster,
 		suites:  workload.Suites(),
 		cache:   map[string]sim.SuiteRun{},
 		started: map[string]chan struct{}{},
@@ -164,6 +191,19 @@ func NewRunner(p Params) *Runner {
 
 // Params returns the runner's parameters.
 func (r *Runner) Params() Params { return r.params }
+
+// Close stops the runner's local worker cluster, when Params.Workers
+// started one. Safe to call on any runner, any number of times;
+// in-process runners are unaffected.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	cl := r.cluster
+	r.cluster = nil
+	r.mu.Unlock()
+	if cl != nil {
+		cl.Close()
+	}
+}
 
 // EngineStats reports how much work the runner's engine simulated
 // versus served from the on-disk store.

@@ -30,6 +30,10 @@ import (
 type Rule struct {
 	// Nth lists explicit 1-based hit indices that fail.
 	Nth []int
+	// First makes the first k hits fail and every later hit succeed —
+	// the "transient outage that heals" shape chaos tests lean on;
+	// 0 disables the clause.
+	First int
 	// Every makes every k-th hit fail (1-based: hits k, 2k, ...);
 	// 0 disables the clause. Every: 1 fails every hit.
 	Every int
@@ -47,6 +51,9 @@ func (r Rule) fails(n int) bool {
 		if n == k {
 			return true
 		}
+	}
+	if r.First > 0 && n <= r.First {
+		return true
 	}
 	if r.Every > 0 && n%r.Every == 0 {
 		return true

@@ -44,6 +44,17 @@ func TestEveryKth(t *testing.T) {
 	}
 }
 
+func TestFirstKThenHeals(t *testing.T) {
+	Enable(Plan{"x": {First: 3}})
+	defer Disable()
+	for i := 1; i <= 8; i++ {
+		got := Err("x") != nil
+		if want := i <= 3; got != want {
+			t.Fatalf("hit %d failed=%v, want %v", i, got, want)
+		}
+	}
+}
+
 func TestFaultErrorCarriesSiteAndHit(t *testing.T) {
 	Enable(Plan{"serve/sse.stream": {Every: 1}})
 	defer Disable()

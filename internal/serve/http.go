@@ -38,6 +38,10 @@ func (e *httpError) Error() string { return e.msg }
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/jobs/{id}/result  finished job's result (409 until done)
 //	GET    /v1/jobs/{id}/events  SSE progress stream (replay + live)
+//
+// When Config.WorkHandler is set, the coordinator's worker-pull queue
+// API is mounted under /v1/work/ (see internal/dist and docs/API.md),
+// un-rate-limited like /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// /healthz bypasses the rate limit: a probe loop must always see
@@ -57,6 +61,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.limited(s.handleCancel))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.limited(s.handleResult))
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.limited(s.handleEvents))
+	if s.workHandler != nil {
+		mux.Handle("/v1/work/", s.workHandler)
+	}
 	return mux
 }
 

@@ -12,6 +12,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -65,6 +66,12 @@ type Config struct {
 	// /healthz is exempt — load probes must see drain state.
 	RatePerSec float64
 	RateBurst  int
+	// WorkHandler, when non-nil, is mounted at /v1/work/ — the
+	// coordinator's worker-pull queue API (internal/dist, DESIGN.md
+	// §14). It bypasses the rate limit: workers are trusted
+	// infrastructure, and shedding their polls would stall every job
+	// whose items they execute.
+	WorkHandler http.Handler
 }
 
 // Server owns the job index, the dedup table, and the worker pool.
@@ -76,6 +83,7 @@ type Server struct {
 	keepJobs      int
 	suites        map[string][]workload.Benchmark
 	limiter       *limiter
+	workHandler   http.Handler
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -136,6 +144,7 @@ func NewServer(cfg Config) *Server {
 		jobs:          map[string]*job{},
 		byKey:         map[string]*job{},
 		jnl:           cfg.Journal,
+		workHandler:   cfg.WorkHandler,
 		queue:         make(chan *job, depth),
 	}
 	if cfg.RatePerSec > 0 {

@@ -93,6 +93,19 @@ type EngineConfig struct {
 	// materialization entirely so every shard regenerates its stream
 	// prefix (the pre-stream-layer behaviour; see DESIGN.md §6).
 	StreamMemory int64
+	// Remote, when non-nil, makes this engine a coordinator (DESIGN.md
+	// §14): work items whose configuration and benchmark are registry
+	// names — and therefore reconstructible by name on another machine
+	// — are dispatched through the RemoteRunner instead of simulated
+	// locally, and the returned results are stored and merged exactly
+	// as local ones would be. Items a remote cannot rebuild (custom
+	// predictor builders) still run locally. A RunItem call blocks its
+	// engine worker slot while the remote executes, so Workers should
+	// be sized to the wanted dispatch concurrency, not to local CPUs;
+	// <=0 defaults to 8×GOMAXPROCS when Remote is set. Interleave is
+	// forced to 1: lockstep grouping is an in-process hot-path
+	// arrangement, meaningless across a wire.
+	Remote RemoteRunner
 }
 
 // EngineStats counts what an engine did across its lifetime.
@@ -130,7 +143,13 @@ type Engine struct {
 	// while it simulates. Long-running services (internal/serve) rely
 	// on this to run many jobs over one engine without oversubscribing
 	// the machine.
-	sem       chan struct{}
+	sem chan struct{}
+	// remote, when non-nil, dispatches registry-rebuildable work items
+	// to another process (DESIGN.md §14); remoteOK caches the
+	// per-config eligibility verdict (predictor construction is
+	// expensive).
+	remote    RemoteRunner
+	remoteOK  sync.Map
 	simulated atomic.Uint64
 	hits      atomic.Uint64
 	records   atomic.Uint64
@@ -141,6 +160,11 @@ type Engine struct {
 func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Remote != nil {
+			// A coordinator's workers mostly block on remote completion,
+			// not on CPU: default to enough slots to keep a fleet busy.
+			cfg.Workers = 8 * runtime.GOMAXPROCS(0)
+		}
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
@@ -167,7 +191,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 		}
 		cfg.Streams = workload.NewStreamCache(cfg.StreamMemory, spill)
 	}
-	if cfg.Interleave < 1 {
+	if cfg.Interleave < 1 || cfg.Remote != nil {
 		cfg.Interleave = 1
 	}
 	return &Engine{
@@ -175,7 +199,8 @@ func NewEngine(cfg EngineConfig) *Engine {
 		snapshots: cfg.Snapshots || cfg.ExactShards, exact: cfg.ExactShards,
 		interleave: cfg.Interleave,
 		store:      cfg.Store, streams: cfg.Streams,
-		sem: make(chan struct{}, cfg.Workers),
+		remote: cfg.Remote,
+		sem:    make(chan struct{}, cfg.Workers),
 	}
 }
 
@@ -376,7 +401,7 @@ func (e *Engine) RunSuiteContext(ctx context.Context, builder func() predictor.P
 		} else {
 			e.forEach(ctx, len(items), func(i int) {
 				it := items[i]
-				res, hit := e.runShard(builder, name, suite, benches[it.bench], budget, it.shard)
+				res, hit := e.runShard(ctx, builder, name, suite, benches[it.bench], budget, it.shard)
 				if hit {
 					cached.Add(1)
 				}
@@ -438,18 +463,50 @@ func (e *Engine) feedWindow(p predictor.Predictor, b workload.Benchmark, budget,
 	return res, finalPos, fed
 }
 
-// runShard serves one work item, from the store when possible. A
-// shard reads its window of the benchmark's materialized stream
-// (generated once per (trace, seed, budget) and shared across shards
-// and configurations; see DESIGN.md §6), discards records before its
-// warm-up window, trains unmeasured through the window, and measures
-// its segment. Unsharded runs with the snapshot layer enabled first
-// look for a cached prefix snapshot to resume from, and persist their
-// end-of-run state for future longer-budget runs (DESIGN.md §8).
-func (e *Engine) runShard(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget, shard int) (Result, bool) {
+// runShard serves one work item with the engine's own geometry,
+// dispatching it to the RemoteRunner when one is configured and the
+// item is rebuildable by name on the other side (DESIGN.md §14);
+// everything else takes the local path. ctx only governs remote
+// dispatch — local shard simulation is the engine's atomic unit and
+// runs to completion once started.
+func (e *Engine) runShard(ctx context.Context, builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget, shard int) (Result, bool) {
+	if e.remote != nil && e.remoteEligible(config, b.Name) {
+		key := Key{
+			Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
+			Budget: budget, Seed: b.Seed, Shard: shard, Shards: e.shards, Warmup: e.warmup,
+		}
+		if e.store != nil {
+			if res, ok := e.store.Load(key); ok {
+				e.hits.Add(1)
+				return res, true
+			}
+		}
+		item := ItemSpec{
+			Config: config, Suite: suite, Bench: b.Name, Seed: b.Seed,
+			Budget: budget, Shard: shard, Shards: e.shards, Warmup: e.warmup,
+		}
+		return e.runItemRemote(ctx, key, item), false
+	}
+	return e.runShardGeom(builder, config, suite, b, budget, shard, e.shards, e.warmup)
+}
+
+// runShardGeom serves one work item locally with explicit shard
+// geometry (shards, warmup) — the engine's geometry for local suite
+// runs, the item's geometry when a worker daemon executes a leased
+// ItemSpec (Engine.RunItem), so the store key and the simulated window
+// are those of the dispatching coordinator, not of the worker's own
+// configuration. A shard reads its window of the benchmark's
+// materialized stream (generated once per (trace, seed, budget) and
+// shared across shards and configurations; see DESIGN.md §6), discards
+// records before its warm-up window, trains unmeasured through the
+// window, and measures its segment. Unsharded runs with the snapshot
+// layer enabled first look for a cached prefix snapshot to resume
+// from, and persist their end-of-run state for future longer-budget
+// runs (DESIGN.md §8).
+func (e *Engine) runShardGeom(builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget, shard, shards, warmup int) (Result, bool) {
 	key := Key{
 		Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
-		Budget: budget, Seed: b.Seed, Shard: shard, Shards: e.shards, Warmup: e.warmup,
+		Budget: budget, Seed: b.Seed, Shard: shard, Shards: shards, Warmup: warmup,
 	}
 	if e.store != nil {
 		if res, ok := e.store.Load(key); ok {
@@ -462,21 +519,21 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 		// caller, the same path a real simulation bug would take.
 		panic(err)
 	}
-	start := workload.ShardStart(budget, shard, e.shards)
-	end := start + workload.ShardBudget(budget, shard, e.shards)
-	skip := start - e.warmup
+	start := workload.ShardStart(budget, shard, shards)
+	end := start + workload.ShardBudget(budget, shard, shards)
+	skip := start - warmup
 	if skip < 0 {
 		skip = 0
 	}
 	measureEnd := end
-	if e.shards == 1 {
+	if shards == 1 {
 		// Unsharded runs keep the generator's episode-granular
 		// overshoot, bit-identical to a plain Feed.
 		measureEnd = noLimit
 	}
 	var p predictor.Predictor
 	var partial Result
-	canSnapshot := e.snapshots && e.shards == 1 && e.store != nil
+	canSnapshot := e.snapshots && shards == 1 && e.store != nil
 	if canSnapshot {
 		if rp, part, pos := e.tryResume(builder, config, suite, b, budget); rp != nil {
 			// The snapshot carries both the exact predictor state at
@@ -506,8 +563,81 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 	return res, false
 }
 
-// runBenchExact simulates every shard of one benchmark as a chained
-// partition of the contiguous stream: shard i starts from the exact
+// exactKey is the store key of shard i of an exact n-way chain.
+func exactKey(config, suite string, b workload.Benchmark, budget, i, n int) Key {
+	return Key{
+		Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
+		Budget: budget, Seed: b.Seed, Shard: i, Shards: n, Exact: true,
+	}
+}
+
+// runBenchExact runs one benchmark's exact shard chain with the
+// engine's geometry, remotely when a RemoteRunner is configured and
+// the item is rebuildable by name. An exact chain dispatches as one
+// work item covering all shards: shard i needs the predictor state at
+// shard i-1's boundary, so only the whole chain is
+// location-independent (ItemSpec.Exact).
+func (e *Engine) runBenchExact(ctx context.Context, builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget int, emit func(trace string, shard int, hit bool)) ([]Result, int) {
+	if e.remote != nil && e.remoteEligible(config, b.Name) {
+		return e.runBenchExactRemote(ctx, config, suite, b, budget, emit)
+	}
+	return e.runBenchExactGeom(ctx, builder, config, suite, b, budget, e.shards, emit)
+}
+
+// runBenchExactRemote serves an exact chain through the RemoteRunner.
+// Shards already in the store stay cache hits; a chain with any miss
+// dispatches whole (the remote re-derives every boundary state anyway)
+// and only the missing shards' results are taken from the response and
+// stored. See RemoteRunner for the error contract.
+func (e *Engine) runBenchExactRemote(ctx context.Context, config, suite string, b workload.Benchmark, budget int, emit func(trace string, shard int, hit bool)) ([]Result, int) {
+	n := e.shards
+	results := make([]Result, n)
+	hit := make([]bool, n)
+	cached := 0
+	if e.store != nil {
+		for i := 0; i < n; i++ {
+			if res, ok := e.store.Load(exactKey(config, suite, b, budget, i, n)); ok {
+				e.hits.Add(1)
+				results[i], hit[i] = res, true
+				cached++
+			}
+		}
+	}
+	if cached < n {
+		item := ItemSpec{
+			Config: config, Suite: suite, Bench: b.Name, Seed: b.Seed,
+			Budget: budget, Shards: n, Exact: true,
+		}
+		res, err := e.remote.RunItem(ctx, item)
+		if err != nil {
+			if ctx.Err() != nil {
+				return results, cached
+			}
+			panic(fmt.Errorf("sim: remote exact chain %s/%s: %w", config, b.Name, err))
+		}
+		if len(res) != n {
+			panic(fmt.Errorf("sim: remote exact chain %s/%s: got %d results, want %d", config, b.Name, len(res), n))
+		}
+		for i := 0; i < n; i++ {
+			if hit[i] {
+				continue
+			}
+			results[i] = res[i]
+			if e.store != nil {
+				_ = e.store.Save(exactKey(config, suite, b, budget, i, n), res[i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		emit(b.Name, i, hit[i])
+	}
+	return results, cached
+}
+
+// runBenchExactGeom simulates every shard of one benchmark as a
+// chained partition of the contiguous stream, with an explicit shard
+// count (the engine's for local runs, the item's when a worker
+// executes a leased exact chain): shard i starts from the exact
 // predictor state at its segment boundary — restored from a cached
 // snapshot, or rebuilt by replaying the stream from the nearest
 // earlier one — so the merged results are bit-identical to the
@@ -515,8 +645,8 @@ func (e *Engine) runShard(builder func() predictor.Predictor, config, suite stri
 // persisted individually. A canceled ctx stops the chain at the next
 // shard boundary (completed shards are already stored). Returns
 // per-shard results and how many were served from the store.
-func (e *Engine) runBenchExact(ctx context.Context, builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget int, emit func(trace string, shard int, hit bool)) ([]Result, int) {
-	n := e.shards
+func (e *Engine) runBenchExactGeom(ctx context.Context, builder func() predictor.Predictor, config, suite string, b workload.Benchmark, budget, shards int, emit func(trace string, shard int, hit bool)) ([]Result, int) {
+	n := shards
 	results := make([]Result, n)
 	cached := 0
 	var p predictor.Predictor
@@ -525,10 +655,7 @@ func (e *Engine) runBenchExact(ctx context.Context, builder func() predictor.Pre
 		if ctx.Err() != nil {
 			return results, cached
 		}
-		key := Key{
-			Engine: EngineVersion, Config: config, Suite: suite, Trace: b.Name,
-			Budget: budget, Seed: b.Seed, Shard: i, Shards: n, Exact: true,
-		}
+		key := exactKey(config, suite, b, budget, i, n)
 		if e.store != nil {
 			if res, ok := e.store.Load(key); ok {
 				e.hits.Add(1)
@@ -545,8 +672,8 @@ func (e *Engine) runBenchExact(ctx context.Context, builder func() predictor.Pre
 			// Injected work-item failure; see runShard.
 			panic(err)
 		}
-		start := workload.ShardStart(budget, i, e.shards)
-		end := start + workload.ShardBudget(budget, i, e.shards)
+		start := workload.ShardStart(budget, i, n)
+		end := start + workload.ShardBudget(budget, i, n)
 		if i == n-1 {
 			// The final shard absorbs the generator's episode-granular
 			// overshoot, exactly like an unsharded run's tail.
